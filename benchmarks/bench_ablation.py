@@ -1,0 +1,61 @@
+"""Ablations beyond the paper's figures (DESIGN.md A1/A2).
+
+* A1 — Eq. (1) vs Eq. (2) target bounds inside BestFirst.  Eq. (1) is
+  per-node tighter but O(|L| |V_T|) per evaluation; the paper argues
+  (Section 4.2) that Eq. (2) wins overall.  Expect Eq2 faster on a
+  populous category.
+* A2 — what alpha actually trades: small alpha → many cheap TestLB
+  calls (mostly failures), large alpha → few calls that each settle
+  more nodes.  Counter means per query, not milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    ablation_alpha_counters,
+    ablation_bounds,
+    ablation_hub_labels,
+    work_table,
+)
+
+
+def test_work_counters_report(benchmark, report, queries_per_point):
+    """Lemma 4.1, measured: per-algorithm work counters."""
+    figure = benchmark.pedantic(
+        lambda: work_table("CAL", category="Lake", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure, unit="count")
+
+
+def test_ablation_eq1_vs_eq2_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: ablation_bounds(
+            "CAL", category="Harbor", queries_per_point=queries_per_point
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_ablation_hub_labels_report(benchmark, report, queries_per_point):
+    """A3: 2-hop labels help KSP but degrade on KPJ (Section 3)."""
+    figure = benchmark.pedantic(
+        lambda: ablation_hub_labels("SJ", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_ablation_alpha_counters_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: ablation_alpha_counters(
+            "CAL", category="Harbor", queries_per_point=queries_per_point
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure, unit="count")

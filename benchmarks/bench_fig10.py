@@ -1,0 +1,38 @@
+"""Figure 10 — varying the number of destination nodes (T1..T4).
+
+Expected shape (paper): more destinations → shorter shortest paths
+(Fig. 11) → every approach gets faster from T1 to T4, and
+IterBound_I's margin over IterBound_P widens with |T| because SPT_I
+prunes destinations the query never approaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig10
+from repro.bench.harness import solver_for, workload_for
+
+
+@pytest.mark.parametrize("dataset", ["SJ", "COL"])
+def test_fig10_report(benchmark, report, queries_per_point, dataset):
+    figure = benchmark.pedantic(
+        lambda: fig10(dataset, queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+@pytest.mark.parametrize("category", ["T1", "T4"])
+def test_single_query_extreme_categories(benchmark, category):
+    """IterBound_I on COL at the smallest and largest destination sets."""
+    _, solver = solver_for("COL")
+    workload = workload_for("COL", category)
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category=category, k=20),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )

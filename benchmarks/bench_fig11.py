@@ -1,0 +1,23 @@
+"""Figure 11 — shortest-path-length percentiles vs |T|.
+
+Expected shape (paper): for every dataset, the longest node-to-T_i
+distance drops through the all-pairs distance distribution as the
+destination set grows from T1 to T4 — the structural reason all
+approaches speed up with |T| in Figure 10.
+
+Values are percentiles (%), not milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig11
+
+
+def test_fig11_report(benchmark, report, full_suite):
+    datasets = ("SJ", "SF", "COL", "FLA", "USA") if full_suite else ("SJ", "SF", "COL")
+    figure = benchmark.pedantic(
+        lambda: fig11(datasets=datasets, sample_sources=8),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure, unit="%")

@@ -1,0 +1,60 @@
+"""Figure 12 — scalability of IterBound_I.
+
+Expected shape (paper): growing the graph 40x (SJ → USA) raises the
+query time only a few times (the exploration area depends on the
+query's locality, not on n); time grows mildly and sublinearly with k
+up to k = 500.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig12a, fig12b
+from repro.bench.harness import solver_for, workload_for
+
+
+def test_fig12a_graph_size_report(benchmark, report, queries_per_point, full_suite):
+    datasets = (
+        ("SJ", "SF", "COL", "FLA", "USA")
+        if full_suite
+        else ("SJ", "SF", "COL", "FLA")
+    )
+    figure = benchmark.pedantic(
+        lambda: fig12a(datasets=datasets, queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_fig12b_large_k_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: fig12b("COL", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_single_query_fla(benchmark):
+    """IterBound_I on the second-largest default dataset."""
+    _, solver = solver_for("FLA")
+    workload = workload_for("FLA", "T2")
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category="T2", k=20),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_single_query_col_k500(benchmark):
+    """IterBound_I at the paper's largest k."""
+    _, solver = solver_for("COL")
+    workload = workload_for("COL", "T2")
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category="T2", k=500),
+        rounds=2,
+        iterations=1,
+    )

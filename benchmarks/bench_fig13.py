@@ -1,0 +1,55 @@
+"""Figure 13 — GKPJ (4 random sources) on COL: DA-SPT vs IterBound_I.
+
+Expected shape (paper): with multiple sources the k shortest paths
+get shorter, so the gap widens — IterBound_I beats DA-SPT by about
+two orders of magnitude; both get faster as |T| grows, and slower
+(mildly) with k.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.experiments import fig13
+from repro.bench.harness import solver_for
+
+
+def test_fig13_vary_t_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: fig13("COL", vary="T", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_fig13_vary_k_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: fig13("COL", vary="k", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_single_gkpj_iterbound_spti(benchmark):
+    """One 4-source GKPJ query with the paper's best method."""
+    network, solver = solver_for("COL")
+    sources = tuple(random.Random(5).sample(range(network.n), 4))
+    benchmark.pedantic(
+        lambda: solver.join(sources=sources, category="T2", k=20),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_single_gkpj_da_spt(benchmark):
+    """The same GKPJ query with DA-SPT."""
+    network, solver = solver_for("COL")
+    sources = tuple(random.Random(5).sample(range(network.n), 4))
+    benchmark.pedantic(
+        lambda: solver.join(sources=sources, category="T2", k=20, algorithm="da-spt"),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Figure 6 — parameter testing on CAL (landmark count and alpha).
+
+Expected shape (paper): time falls as |L| grows to 16, then rises a
+little at 32; alpha is best near 1.1, worse at both 1.05 (too many
+iterations) and 1.8 (overshooting tau builds too much tree).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig6a, fig6b
+from repro.bench.harness import solver_for, time_query_batch, workload_for
+
+
+def test_fig6a_vary_landmarks_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: fig6a(queries_per_point=queries_per_point), rounds=1, iterations=1
+    )
+    report(figure)
+
+
+def test_fig6b_vary_alpha_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: fig6b(queries_per_point=queries_per_point), rounds=1, iterations=1
+    )
+    report(figure)
+
+
+def _one_query(landmarks: int):
+    _, solver = solver_for("CAL", landmarks=landmarks)
+    workload = workload_for("CAL", "Lake")
+    source = workload.group("Q3")[0]
+    return lambda: solver.top_k(source, category="Lake", k=20)
+
+
+def test_iterbound_spti_4_landmarks(benchmark):
+    """One CAL/Lake query with a small landmark set."""
+    benchmark.pedantic(_one_query(4), rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_iterbound_spti_16_landmarks(benchmark):
+    """Same query with the paper's default 16 landmarks."""
+    benchmark.pedantic(_one_query(16), rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_iterbound_spti_alpha_sensitivity(benchmark):
+    """Same query at alpha=1.8 (coarse tau growth)."""
+    _, solver = solver_for("CAL", landmarks=16)
+    workload = workload_for("CAL", "Lake")
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category="Lake", k=20, alpha=1.8),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,55 @@
+"""Figure 7 — KPJ on CAL: all seven algorithms vs the baselines.
+
+Expected shape (paper): every best-first variant beats DA and DA-SPT;
+IterBound_I is fastest; DA-SPT is roughly flat across query groups
+(the full-SPT build dominates) while everything else grows from Q1 to
+Q5; times rise mildly with k.  With the large "Harbor" category
+(Fig. 7(e)–(f)) DA-SPT falls behind DA's relative position because
+the full SPT is pure overhead for short paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ALGO_LABELS, fig7
+from repro.bench.harness import solver_for, time_query_batch, workload_for
+
+
+@pytest.mark.parametrize("category", ["Lake", "Crater", "Harbor"])
+def test_fig7_vary_q_report(benchmark, report, queries_per_point, full_suite, category):
+    if category == "Crater" and not full_suite:
+        pytest.skip("Crater panel only in REPRO_BENCH_FULL=1 runs")
+    figure = benchmark.pedantic(
+        lambda: fig7(category=category, vary="Q", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+@pytest.mark.parametrize("category", ["Lake", "Crater", "Harbor"])
+def test_fig7_vary_k_report(benchmark, report, queries_per_point, full_suite, category):
+    if category != "Lake" and not full_suite:
+        pytest.skip("extra vary-k panels only in REPRO_BENCH_FULL=1 runs")
+    figure = benchmark.pedantic(
+        lambda: fig7(category=category, vary="k", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGO_LABELS))
+def test_single_query_lake_q3(benchmark, algorithm):
+    """One CAL/Lake Q3 query (k=20) per algorithm — the per-algorithm
+    timing units behind Fig. 7(a)."""
+    _, solver = solver_for("CAL")
+    workload = workload_for("CAL", "Lake")
+    source = workload.group("Q3")[0]
+    rounds = 2 if algorithm in ("da", "da-spt") else 5
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category="Lake", k=20, algorithm=algorithm),
+        rounds=rounds,
+        iterations=1,
+    )

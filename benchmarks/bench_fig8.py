@@ -1,0 +1,54 @@
+"""Figure 8 — KSP on CAL ("Glacier" has one node).
+
+Expected shape (paper): same as Fig. 7 — the best-first family beats
+both deviation baselines by orders of magnitude even in the pure-KSP
+setting, demonstrating the paper's closing claim.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig8
+from repro.bench.harness import solver_for, workload_for
+
+
+def test_fig8_vary_q_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: fig8(vary="Q", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_fig8_vary_k_report(benchmark, report, queries_per_point):
+    figure = benchmark.pedantic(
+        lambda: fig8(vary="k", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+def test_ksp_iterbound_spti_single_query(benchmark):
+    """One Glacier KSP query with the paper's best method."""
+    _, solver = solver_for("CAL")
+    workload = workload_for("CAL", "Glacier")
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category="Glacier", k=20),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_ksp_da_spt_single_query(benchmark):
+    """The same query with the pre-paper state of the art."""
+    _, solver = solver_for("CAL")
+    workload = workload_for("CAL", "Glacier")
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category="Glacier", k=20, algorithm="da-spt"),
+        rounds=2,
+        iterations=1,
+    )

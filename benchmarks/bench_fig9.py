@@ -1,0 +1,50 @@
+"""Figure 9 — our four approaches on SJ and COL (category T2).
+
+Expected shape (paper): IterBound slightly beats BestFirst (fewer
+shortest-path computations, pricier bounds), IterBound_P beats
+IterBound (faster lower-bound testing), IterBound_I beats them all
+(smallest exploration area); times grow with Q and with k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig9
+from repro.bench.harness import solver_for, workload_for
+
+
+@pytest.mark.parametrize("dataset", ["SJ", "COL"])
+def test_fig9_vary_q_report(benchmark, report, queries_per_point, dataset):
+    figure = benchmark.pedantic(
+        lambda: fig9(dataset, vary="Q", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+@pytest.mark.parametrize("dataset", ["SJ", "COL"])
+def test_fig9_vary_k_report(benchmark, report, queries_per_point, dataset):
+    figure = benchmark.pedantic(
+        lambda: fig9(dataset, vary="k", queries_per_point=queries_per_point),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure)
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["best-first", "iter-bound", "iter-bound-sptp", "iter-bound-spti"]
+)
+def test_single_query_col_q3(benchmark, algorithm):
+    """One COL/T2 Q3 query (k=20) per approach."""
+    _, solver = solver_for("COL")
+    workload = workload_for("COL", "T2")
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: solver.top_k(source, category="T2", k=20, algorithm=algorithm),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )

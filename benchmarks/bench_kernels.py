@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the shortest-path substrate.
+
+Not a paper figure — these isolate the kernels every algorithm is
+built from, so a regression here explains a regression everywhere:
+full Dijkstra, goal-directed A*, bounded A* (TestLB), the full-SPT
+build (DA-SPT's fixed cost), the per-query Eq. (2) bound vector, and
+the batch-API saving from reusing it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import solver_for, workload_for
+from repro.pathing.astar import astar_path, bounded_astar_path
+from repro.pathing.dijkstra import single_source_distances
+from repro.pathing.spt import build_spt_to_target
+
+
+def _setup():
+    network, solver = solver_for("COL")
+    workload = workload_for("COL", "T2")
+    return network, solver, workload
+
+
+def test_dijkstra_full_sssp(benchmark):
+    """One full single-source run on COL (the landmark-build unit)."""
+    network, _, workload = _setup()
+    source = workload.group("Q3")[0]
+    benchmark.pedantic(
+        lambda: single_source_distances(network.graph, source),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_astar_point_to_point(benchmark):
+    """Goal-directed A* with the landmark heuristic on COL."""
+    network, solver, workload = _setup()
+    source = workload.group("Q5")[0]
+    target = network.categories.nodes_of("T2")[0]
+    bounds = solver.landmark_index.to_target_bounds((target,))
+    benchmark.pedantic(
+        lambda: astar_path(network.graph, source, target, bounds),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_bounded_astar_failing_test(benchmark):
+    """A failing TestLB (the common, cheap case of IterBound)."""
+    network, solver, workload = _setup()
+    source = workload.group("Q5")[0]
+    target = network.categories.nodes_of("T2")[0]
+    bounds = solver.landmark_index.to_target_bounds((target,))
+    tau = bounds(source) * 0.9  # below the true distance: must fail fast
+    benchmark.pedantic(
+        lambda: bounded_astar_path(
+            network.graph, source, target, bounds, bound=tau
+        ),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_full_spt_build(benchmark):
+    """DA-SPT's fixed per-query cost: the full SPT on COL's G_Q."""
+    from repro.graph.virtual import build_query_graph
+
+    network, _, workload = _setup()
+    source = workload.group("Q3")[0]
+    qg = build_query_graph(
+        network.graph, (source,), network.categories.nodes_of("T2")
+    )
+    benchmark.pedantic(
+        lambda: build_spt_to_target(qg.graph, qg.target),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_eq2_bound_vector(benchmark):
+    """The per-query O(|L| n) Eq. (2) initialisation on COL."""
+    network, solver, _ = _setup()
+    targets = network.categories.nodes_of("T2")
+    benchmark.pedantic(
+        lambda: solver.landmark_index.to_target_bounds(targets),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_prepared_batch_queries(benchmark):
+    """Five IterBound_I queries through the prepared-category API."""
+    _, solver, workload = _setup()
+    sources = workload.group("Q3")[:5]
+
+    def run():
+        prepared = solver.prepare(category="T2")
+        for source in sources:
+            prepared.top_k(source, k=20)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

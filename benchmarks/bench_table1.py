@@ -1,0 +1,51 @@
+"""Table 1 — dataset summary (paper sizes vs scaled analogues).
+
+Also benchmarks the dataset construction + landmark indexing path,
+the per-dataset offline cost every other benchmark amortises.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table1
+from repro.core.kpj import KPJSolver
+from repro.datasets.registry import road_network
+from repro.datasets.synthetic import grid_road_network
+
+
+def test_table1_report(benchmark, report):
+    """Print the Table-1 rows (dataset sizes)."""
+
+    def run():
+        return table1()
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = f"{'dataset':<8} {'nodes':>9} {'edges':>9} {'paper n':>10} {'paper m':>11}"
+    lines = ["Table 1: datasets (scaled synthetic analogues)", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<8} {row['nodes']:>9} {row['edges']:>9} "
+            f"{row['paper_nodes']:>10} {row['paper_edges']:>11}"
+        )
+    print("\n" + "\n".join(lines) + "\n")
+    from pathlib import Path
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "table1.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_generate_sj_scale_network(benchmark):
+    """Offline: generating an SJ-scale road network."""
+    benchmark.pedantic(
+        lambda: grid_road_network(32, 28, seed=99), rounds=3, iterations=1
+    )
+
+
+def test_landmark_build_sj(benchmark):
+    """Offline: 16-landmark index on SJ (one Dijkstra per landmark)."""
+    dataset = road_network("SJ")
+
+    def build():
+        return KPJSolver(dataset.graph, dataset.categories, landmarks=16)
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

@@ -1,0 +1,50 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_QUERIES`` — sources timed per figure point (default 2;
+  the paper uses 100 — raise it for tighter numbers).
+* ``REPRO_BENCH_FULL=1`` — include the most expensive panels (the USA
+  dataset in Figures 11/12, every CAL category panel in Figure 7).
+
+Every reproduced figure is printed to stdout (visible with ``-s`` /
+in the benchmark run log) *and* persisted under
+``benchmarks/results/`` so the numbers survive output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def queries_per_point() -> int:
+    """Sources timed per figure point."""
+    return QUERIES
+
+
+@pytest.fixture(scope="session")
+def full_suite() -> bool:
+    """Whether the expensive panels are enabled."""
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a reproduced figure and persist it under results/."""
+    from repro.bench.reporting import format_figure, write_figure
+
+    def _report(figure, unit: str = "ms") -> None:
+        text = format_figure(figure, unit=unit)
+        print("\n" + text + "\n")
+        write_figure(figure, RESULTS_DIR, unit=unit)
+
+    return _report

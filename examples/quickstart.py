@@ -1,0 +1,66 @@
+"""Quickstart: build a graph, index it, answer KPJ and KSP queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the three public entry points — ``top_k`` (KPJ), ``ksp``
+(single destination), and ``join`` (GKPJ) — on a small hand-built
+city graph, and shows how to read the instrumentation counters.
+"""
+
+from __future__ import annotations
+
+from repro import CategoryIndex, GraphBuilder, KPJSolver
+
+
+def build_city():
+    """A toy city: a main street, a ring road, and three hotels."""
+    builder = GraphBuilder(bidirectional=True)
+    # Main street: a -> b -> c -> d -> e (fast segments).
+    for u, v in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]:
+        builder.add_edge(u, v, 1.0)
+    # Ring road around the centre (longer segments).
+    ring = ["a", "f", "g", "h", "e"]
+    for u, v in zip(ring, ring[1:]):
+        builder.add_edge(u, v, 2.0)
+    # Connectors.
+    builder.add_edge("b", "f", 1.5)
+    builder.add_edge("c", "g", 1.5)
+    builder.add_edge("d", "h", 1.5)
+    built = builder.build()
+    hotels = [built.node_id(x) for x in ("c", "g", "e")]
+    fuel = [built.node_id(x) for x in ("f", "d")]
+    categories = CategoryIndex({"Hotel": hotels, "Fuel": fuel})
+    return built, categories
+
+
+def main() -> None:
+    built, categories = build_city()
+    solver = KPJSolver(built.graph, categories, landmarks=4)
+
+    print("== KPJ: top-3 routes from 'a' to any Hotel ==")
+    result = solver.top_k(built.node_id("a"), category="Hotel", k=3)
+    for rank, path in enumerate(result.paths, start=1):
+        names = " -> ".join(built.labels[v] for v in path.nodes)
+        print(f"  {rank}. length {path.length:.1f}: {names}")
+
+    print("\n== KSP: top-3 routes from 'a' to 'e' specifically ==")
+    result = solver.ksp(built.node_id("a"), built.node_id("e"), k=3)
+    for rank, path in enumerate(result.paths, start=1):
+        names = " -> ".join(built.labels[v] for v in path.nodes)
+        print(f"  {rank}. length {path.length:.1f}: {names}")
+
+    print("\n== GKPJ: top-3 routes from any Fuel station to any Hotel ==")
+    result = solver.join(source_category="Fuel", category="Hotel", k=3)
+    for rank, path in enumerate(result.paths, start=1):
+        names = " -> ".join(built.labels[v] for v in path.nodes)
+        print(f"  {rank}. length {path.length:.1f}: {names}")
+
+    print("\n== Instrumentation of the last query ==")
+    for key, value in result.stats.as_dict().items():
+        print(f"  {key:28s} {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Modern installs use pyproject.toml; this file exists so that editable
+installs also work on offline machines whose environments lack the
+``wheel`` package (pip's PEP-517 editable path needs ``bdist_wheel``;
+the legacy ``setup.py develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

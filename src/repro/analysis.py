@@ -1,0 +1,138 @@
+"""Analytics over graphs and query results.
+
+Two groups of utilities:
+
+* **Distance-distribution estimation** — the machinery behind Fig. 11:
+  sample full single-source runs to approximate the all-pairs distance
+  distribution, then locate any distance's percentile within it.
+* **Result diversity** — applications of KPJ (alternative routes,
+  suspicious-account discovery) care how *different* the k paths are,
+  not just how short; :func:`path_diversity` quantifies it with the
+  average pairwise Jaccard distance of edge sets, and
+  :func:`node_frequencies` ranks nodes by how many of the top paths
+  they appear on (the "most suspicious accounts" ranking of the
+  paper's introduction, used by ``examples/social_network.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.core.result import Path
+from repro.graph.digraph import DiGraph
+from repro.pathing.dijkstra import single_source_distances
+
+__all__ = [
+    "DistanceSample",
+    "sample_distance_distribution",
+    "path_diversity",
+    "node_frequencies",
+    "degree_statistics",
+]
+
+INF = float("inf")
+
+
+class DistanceSample:
+    """A sorted sample of pairwise shortest distances.
+
+    Built by :func:`sample_distance_distribution`; supports percentile
+    queries in ``O(log n)``.
+    """
+
+    def __init__(self, distances: list[float]) -> None:
+        self._sorted = sorted(distances)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def percentile_of(self, distance: float) -> float:
+        """Percentage of sampled distances ``<= distance`` (0..100)."""
+        if not self._sorted:
+            raise ValueError("empty distance sample")
+        return 100.0 * bisect_right(self._sorted, distance) / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._sorted:
+            raise ValueError("empty distance sample")
+        index = min(len(self._sorted) - 1, int(q * len(self._sorted)))
+        return self._sorted[index]
+
+
+def sample_distance_distribution(
+    graph: DiGraph, num_sources: int = 12, seed: int = 0
+) -> DistanceSample:
+    """Estimate the all-pairs distance distribution.
+
+    Runs ``num_sources`` full Dijkstra searches from uniformly sampled
+    sources and pools the finite distances — ``num_sources * n`` pair
+    samples, plenty for percentile estimates at Fig.-11 granularity.
+    """
+    rng = random.Random(seed)
+    pooled: list[float] = []
+    for source in rng.sample(range(graph.n), min(num_sources, graph.n)):
+        pooled.extend(d for d in single_source_distances(graph, source) if d < INF)
+    return DistanceSample(pooled)
+
+
+def _edge_set(path: Path) -> frozenset[tuple[int, int]]:
+    return frozenset(zip(path.nodes, path.nodes[1:]))
+
+
+def path_diversity(paths: Sequence[Path]) -> float:
+    """Mean pairwise Jaccard *distance* between the paths' edge sets.
+
+    1.0 means every pair of paths is edge-disjoint; 0.0 means all
+    paths are identical (or fewer than two paths were given).
+    """
+    if len(paths) < 2:
+        return 0.0
+    edge_sets = [_edge_set(p) for p in paths]
+    total = 0.0
+    pairs = 0
+    for i in range(len(edge_sets)):
+        for j in range(i + 1, len(edge_sets)):
+            union = edge_sets[i] | edge_sets[j]
+            if union:
+                overlap = len(edge_sets[i] & edge_sets[j]) / len(union)
+            else:
+                overlap = 1.0  # two trivial single-node paths
+            total += 1.0 - overlap
+            pairs += 1
+    return total / pairs
+
+
+def node_frequencies(
+    paths: Iterable[Path], exclude: Iterable[int] = ()
+) -> list[tuple[int, int]]:
+    """Nodes ranked by how many of the given paths they appear on.
+
+    ``exclude`` removes endpoints of no interest (e.g. the query's own
+    source/destination sets).  Returns ``(node, count)`` pairs, most
+    frequent first, ties broken by node id.
+    """
+    excluded = set(exclude)
+    counter: Counter[int] = Counter()
+    for path in paths:
+        counter.update(v for v in set(path.nodes) if v not in excluded)
+    return sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+
+
+def degree_statistics(graph: DiGraph) -> dict[str, float]:
+    """Out-degree summary: min / mean / max — the road-likeness check
+    used when validating synthetic networks against Table 1.
+    """
+    if graph.n == 0:
+        raise ValueError("empty graph")
+    degrees = [graph.out_degree(u) for u in range(graph.n)]
+    return {
+        "min": float(min(degrees)),
+        "mean": sum(degrees) / len(degrees),
+        "max": float(max(degrees)),
+    }

@@ -1,0 +1,17 @@
+"""Baseline algorithms: DA, DA-SPT, classic Yen, and brute force."""
+
+from repro.baselines.brute_force import brute_force_topk, enumerate_simple_paths
+from repro.baselines.deviation import deviation_algorithm
+from repro.baselines.deviation_spt import deviation_spt
+from repro.baselines.pseudo_tree import PseudoTree, PTVertex
+from repro.baselines.yen import yen_ksp
+
+__all__ = [
+    "brute_force_topk",
+    "enumerate_simple_paths",
+    "deviation_algorithm",
+    "deviation_spt",
+    "PseudoTree",
+    "PTVertex",
+    "yen_ksp",
+]

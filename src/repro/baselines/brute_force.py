@@ -1,0 +1,63 @@
+"""Exhaustive enumeration — the ground-truth oracle for small graphs.
+
+Enumerates *every* simple path from a source to a set of destinations
+by depth-first search and ranks them by length.  Exponential, so only
+usable on toy graphs, but it has no shared machinery with any other
+algorithm in the package — the property-based tests lean on it as the
+final arbiter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.result import Path
+from repro.graph.digraph import DiGraph
+
+__all__ = ["enumerate_simple_paths", "brute_force_topk"]
+
+
+def enumerate_simple_paths(
+    graph: DiGraph,
+    source: int,
+    destinations: Sequence[int],
+) -> Iterator[Path]:
+    """Yield every simple path from ``source`` to any destination.
+
+    Paths are produced in DFS order (not by length).  A path ending at
+    one destination may continue to another, so recursion proceeds
+    past destination nodes.
+    """
+    destination_set = frozenset(destinations)
+    adjacency = graph.adjacency
+    path: list[int] = [source]
+    on_path: set[int] = {source}
+
+    def walk(u: int, length: float) -> Iterator[Path]:
+        if u in destination_set:
+            yield Path(length=length, nodes=tuple(path))
+        for v, w in adjacency[u]:
+            if v in on_path:
+                continue
+            path.append(v)
+            on_path.add(v)
+            yield from walk(v, length + w)
+            path.pop()
+            on_path.discard(v)
+
+    yield from walk(source, 0.0)
+
+
+def brute_force_topk(
+    graph: DiGraph,
+    source: int,
+    destinations: Sequence[int],
+    k: int,
+) -> list[Path]:
+    """The exact top-``k`` shortest simple paths, by full enumeration.
+
+    Ties at the k-th length are broken by node sequence, matching the
+    deterministic ordering of :class:`~repro.core.result.Path`.
+    """
+    paths = sorted(enumerate_simple_paths(graph, source, destinations))
+    return paths[:k]

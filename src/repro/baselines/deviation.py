@@ -1,0 +1,78 @@
+"""DA — the deviation algorithm (Alg. 1), the paper's first baseline.
+
+Yen's paradigm applied to the ``G_Q`` transform: maintain the
+pseudo-tree of chosen paths and one *candidate path* per tree vertex
+(the shortest path taking the vertex's prefix and avoiding its used
+edges); the next result is always the shortest candidate
+(Lemma 3.1).  Every candidate is computed *eagerly* with a full
+constrained Dijkstra that traverses the graph exhaustively — the two
+deficiencies (O(k·n) candidate computations, no index applicability)
+that motivate the paper's best-first framework.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+
+from repro.baselines.pseudo_tree import PseudoTree, PTVertex
+from repro.core.result import Path
+from repro.core.stats import SearchStats
+from repro.graph.virtual import QueryGraph
+from repro.pathing.dijkstra import constrained_shortest_path
+
+__all__ = ["deviation_algorithm"]
+
+
+def deviation_algorithm(
+    query_graph: QueryGraph,
+    k: int,
+    stats: SearchStats | None = None,
+) -> list[Path]:
+    """Top-``k`` shortest simple paths on ``G_Q`` via plain DA.
+
+    Returns paths in ``G_Q`` coordinates, non-decreasing in length.
+    """
+    stats = stats if stats is not None else SearchStats()
+    graph = query_graph.graph
+    source, target = query_graph.source, query_graph.target
+
+    def candidate(vertex: PTVertex):
+        stats.shortest_path_computations += 1
+        return constrained_shortest_path(
+            graph,
+            vertex.node,
+            target,
+            blocked=vertex.prefix[:-1],
+            banned_first_hops=vertex.used_hops,
+            initial_distance=vertex.prefix_weight,
+            stats=stats,
+        )
+
+    tree = PseudoTree(source)
+    tie = count()
+    candidates: list[tuple[float, int, tuple[int, ...], PTVertex]] = []
+    first = candidate(tree.root)
+    if first is not None:
+        tail, length = first
+        heappush(candidates, (length, next(tie), tail, tree.root))
+
+    results: list[Path] = []
+    edge_weight = graph.edge_weight
+    while candidates and len(results) < k:
+        length, _, tail, vertex = heappop(candidates)
+        path = vertex.prefix[:-1] + tail
+        results.append(Path(length=length, nodes=path))
+        weights = [edge_weight(a, b) for a, b in zip(path, path[1:])]
+        deviation, new_vertices = tree.insert(path, weights)
+        # Alg. 1 line 6: refresh the deviation vertex (its excluded-edge
+        # set just grew) and compute candidates for the new vertices on
+        # the path from the deviation vertex to the target; the final
+        # vertex (the virtual target) has no outgoing edges, hence no
+        # candidate.
+        for refresh in (deviation, *new_vertices[:-1]):
+            found = candidate(refresh)
+            if found is not None:
+                new_tail, new_length = found
+                heappush(candidates, (new_length, next(tie), new_tail, refresh))
+    return results

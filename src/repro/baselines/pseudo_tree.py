@@ -1,0 +1,110 @@
+"""The pseudo-tree of the deviation paradigm (Section 3).
+
+The deviation algorithm encodes the already-chosen paths in a compact
+trie-like structure the paper calls a *pseudo-tree*: the same graph
+node may appear at several places, so tree elements are called
+**vertices** to distinguish them from graph nodes.  Every vertex ``u``
+carries the prefix path from the source to it and the set of its
+outgoing edges already used by chosen paths — exactly the data needed
+to define its candidate path ``c(u)`` (the shortest path that takes
+the prefix and avoids the used edges), which is also exactly a
+subspace in the best-first view (the one-to-one correspondence
+Lemma 4.1's proof builds on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["PTVertex", "PseudoTree"]
+
+
+class PTVertex:
+    """One vertex of the pseudo-tree.
+
+    Attributes
+    ----------
+    node:
+        The graph node this vertex stands for.
+    prefix:
+        The path from the source to this vertex (graph nodes).
+    prefix_weight:
+        Total weight of ``prefix``.
+    used_hops:
+        Graph nodes ``w`` such that the tree contains the edge
+        ``(node, w)`` below this vertex — the excluded edge set of the
+        vertex's candidate path.
+    children:
+        Child vertices keyed by their graph node.
+    """
+
+    __slots__ = ("node", "prefix", "prefix_weight", "used_hops", "children")
+
+    def __init__(self, node: int, prefix: tuple[int, ...], prefix_weight: float) -> None:
+        self.node = node
+        self.prefix = prefix
+        self.prefix_weight = prefix_weight
+        self.used_hops: set[int] = set()
+        self.children: dict[int, "PTVertex"] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PTVertex(node={self.node}, prefix={self.prefix})"
+
+
+class PseudoTree:
+    """Trie of chosen paths, rooted at the source node."""
+
+    def __init__(self, source: int) -> None:
+        self.root = PTVertex(source, (source,), 0.0)
+        self._size = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(
+        self, path: tuple[int, ...], path_weights: list[float]
+    ) -> tuple[PTVertex, list[PTVertex]]:
+        """Insert a chosen path, sharing the longest existing prefix.
+
+        Parameters
+        ----------
+        path:
+            The full path (must start at the source node).
+        path_weights:
+            ``path_weights[i]`` is the weight of edge
+            ``(path[i], path[i+1])``.
+
+        Returns
+        -------
+        ``(deviation_vertex, new_vertices)`` — the last shared vertex
+        (the paper's deviation vertex ``d``) and the vertices created
+        for the path's new suffix, in path order.  The deviation
+        vertex's ``used_hops`` is extended with the path's next hop.
+        """
+        assert path[0] == self.root.node, "path must start at the tree's source"
+        vertex = self.root
+        i = 0
+        while i + 1 < len(path) and path[i + 1] in vertex.children:
+            vertex = vertex.children[path[i + 1]]
+            i += 1
+        deviation = vertex
+        new_vertices: list[PTVertex] = []
+        weight = deviation.prefix_weight
+        for j in range(i + 1, len(path)):
+            node = path[j]
+            weight += path_weights[j - 1]
+            child = PTVertex(node, path[: j + 1], weight)
+            vertex.used_hops.add(node)
+            vertex.children[node] = child
+            new_vertices.append(child)
+            vertex = child
+            self._size += 1
+        return deviation, new_vertices
+
+    def vertices(self) -> Iterator[PTVertex]:
+        """Depth-first iteration over all vertices."""
+        stack = [self.root]
+        while stack:
+            vertex = stack.pop()
+            yield vertex
+            stack.extend(vertex.children.values())

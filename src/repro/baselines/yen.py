@@ -1,0 +1,79 @@
+"""Classic Yen's algorithm — an independent correctness oracle.
+
+This is the textbook formulation of Yen (1971): for every spur node of
+the previous result path, ban the outgoing edges used by already-
+chosen paths sharing the same root, and run a constrained shortest-
+path search.  It shares *no* code with the pseudo-tree implementation
+of :mod:`repro.baselines.deviation`, which makes it a genuinely
+independent oracle for the cross-algorithm equivalence tests.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+
+from repro.core.result import Path
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from repro.pathing.dijkstra import constrained_shortest_path, shortest_path
+
+__all__ = ["yen_ksp"]
+
+
+def yen_ksp(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    k: int,
+    stats: SearchStats | None = None,
+) -> list[Path]:
+    """Top-``k`` shortest simple paths from ``source`` to ``target``.
+
+    Works on any :class:`DiGraph` (no virtual transform required);
+    returns non-decreasing lengths, fewer than ``k`` if the graph runs
+    out of simple paths.
+    """
+    stats = stats if stats is not None else SearchStats()
+    stats.shortest_path_computations += 1
+    first = shortest_path(graph, source, target)
+    if first is None:
+        return []
+    results: list[Path] = [Path(length=first[1], nodes=first[0])]
+    tie = count()
+    candidates: list[tuple[float, int, tuple[int, ...]]] = []
+    seen: set[tuple[int, ...]] = {first[0]}
+
+    while len(results) < k:
+        previous = results[-1].nodes
+        for j in range(len(previous) - 1):
+            root = previous[: j + 1]
+            spur = previous[j]
+            banned = {
+                p.nodes[j + 1]
+                for p in results
+                if len(p.nodes) > j + 1 and p.nodes[: j + 1] == root
+            }
+            root_weight = graph.path_weight(root)
+            stats.shortest_path_computations += 1
+            found = constrained_shortest_path(
+                graph,
+                spur,
+                target,
+                blocked=root[:-1],
+                banned_first_hops=banned,
+                initial_distance=root_weight,
+                stats=stats,
+            )
+            if found is None:
+                continue
+            tail, length = found
+            candidate = root[:-1] + tail
+            if candidate not in seen:
+                seen.add(candidate)
+                heappush(candidates, (length, next(tie), candidate))
+        if not candidates:
+            break
+        length, _, path = heappop(candidates)
+        results.append(Path(length=length, nodes=path))
+    return results

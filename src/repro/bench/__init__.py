@@ -1,0 +1,23 @@
+"""Benchmark harness: per-figure experiments and table rendering."""
+
+from repro.bench.harness import (
+    BatchTiming,
+    FigureResult,
+    Series,
+    solver_for,
+    time_query_batch,
+    workload_for,
+)
+from repro.bench.reporting import format_figure, format_speedups, write_figure
+
+__all__ = [
+    "BatchTiming",
+    "FigureResult",
+    "Series",
+    "solver_for",
+    "time_query_batch",
+    "workload_for",
+    "format_figure",
+    "format_speedups",
+    "write_figure",
+]

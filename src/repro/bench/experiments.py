@@ -1,0 +1,619 @@
+"""Per-figure experiment definitions (Section 7 of the paper).
+
+Each ``fig*`` function reproduces one figure of the evaluation and
+returns a :class:`~repro.bench.harness.FigureResult` whose series
+correspond to the paper's plotted lines.  ``queries_per_point``
+controls how many sources are timed per point (the paper uses 100;
+the default here keeps a full suite tractable in pure Python —
+raise it for tighter numbers).
+
+All experiments are deterministic in their seeds.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from repro.bench.harness import (
+    FigureResult,
+    solver_for,
+    time_query_batch,
+    workload_for,
+)
+from repro.core.kpj import KPJSolver
+from repro.datasets.queries import distances_to_targets
+from repro.datasets.registry import PAPER_SIZES, road_network
+from repro.landmarks.index import TargetBounds
+
+__all__ = [
+    "ALGO_LABELS",
+    "ALL_ALGOS",
+    "OUR_ALGOS",
+    "table1",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig13",
+    "work_table",
+    "ablation_bounds",
+    "ablation_alpha_counters",
+    "ablation_hub_labels",
+]
+
+INF = float("inf")
+
+#: Registry-name → paper-name mapping for series labels.
+ALGO_LABELS: dict[str, str] = {
+    "da": "DA",
+    "da-spt": "DA-SPT",
+    "best-first": "BestFirst",
+    "iter-bound": "IterBound",
+    "iter-bound-sptp": "IterBoundP",
+    "iter-bound-spti": "IterBoundI",
+    "iter-bound-spti-nl": "IterBoundI-NL",
+}
+
+#: The seven algorithms of Figures 7–8, slowest first (paper order).
+ALL_ALGOS = (
+    "da",
+    "da-spt",
+    "best-first",
+    "iter-bound",
+    "iter-bound-sptp",
+    "iter-bound-spti-nl",
+    "iter-bound-spti",
+)
+
+#: The four approaches of Figures 9–10.
+OUR_ALGOS = ("best-first", "iter-bound", "iter-bound-sptp", "iter-bound-spti")
+
+CAL_CATEGORIES = ("Crater", "Glacier", "Harbor", "Lake")
+Q_LABELS = ("Q1", "Q2", "Q3", "Q4", "Q5")
+K_VALUES = (10, 20, 30, 50)
+NESTED = ("T1", "T2", "T3", "T4")
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+def table1(seed: int = 0) -> list[dict[str, int | str]]:
+    """Dataset summary rows (paper sizes next to this package's)."""
+    rows: list[dict[str, int | str]] = []
+    for name, (paper_n, paper_m) in PAPER_SIZES.items():
+        network = road_network(name, seed=seed)
+        rows.append(
+            {
+                "dataset": name,
+                "paper_nodes": paper_n,
+                "paper_edges": paper_m,
+                "nodes": network.n,
+                "edges": network.m,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — parameters (|L| and alpha) on CAL
+# ----------------------------------------------------------------------
+def fig6a(
+    queries_per_point: int = 5,
+    sizes: tuple[int, ...] = (4, 8, 12, 16, 20, 32),
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 6(a): IterBound_I on CAL, Q3, varying the landmark count."""
+    figure = FigureResult(
+        figure="Fig 6a",
+        title="IterBound_I on CAL (Q3, k=20), varying |L|",
+        x_label="|L|",
+    )
+    for category in CAL_CATEGORIES:
+        series = figure.new_series(category)
+        workload = workload_for("CAL", category, seed=seed)
+        sources = workload.group("Q3")[:queries_per_point]
+        for size in sizes:
+            _, solver = solver_for("CAL", landmarks=size, seed=seed)
+            timing = time_query_batch(
+                solver, sources, category, k, "iter-bound-spti"
+            )
+            series.add(str(size), timing.mean_ms)
+    return figure
+
+
+def fig6b(
+    queries_per_point: int = 5,
+    alphas: tuple[float, ...] = (1.05, 1.1, 1.2, 1.5, 1.8),
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 6(b): IterBound_I on CAL, Q3, varying alpha."""
+    figure = FigureResult(
+        figure="Fig 6b",
+        title="IterBound_I on CAL (Q3, k=20), varying alpha",
+        x_label="alpha",
+    )
+    _, solver = solver_for("CAL", seed=seed)
+    for category in CAL_CATEGORIES:
+        series = figure.new_series(category)
+        workload = workload_for("CAL", category, seed=seed)
+        sources = workload.group("Q3")[:queries_per_point]
+        for alpha in alphas:
+            timing = time_query_batch(
+                solver, sources, category, k, "iter-bound-spti", alpha=alpha
+            )
+            series.add(f"{alpha:g}", timing.mean_ms)
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Figures 7–8 — against the baselines on CAL
+# ----------------------------------------------------------------------
+def _algorithm_sweep(
+    figure: FigureResult,
+    dataset: str,
+    category: str,
+    algorithms: tuple[str, ...],
+    vary: str,
+    queries_per_point: int,
+    k: int,
+    seed: int,
+) -> FigureResult:
+    _, solver = solver_for(dataset, seed=seed)
+    workload = workload_for(dataset, category, seed=seed)
+    for algorithm in algorithms:
+        series = figure.new_series(ALGO_LABELS[algorithm])
+        if vary == "Q":
+            for q in Q_LABELS:
+                sources = workload.group(q)[:queries_per_point]
+                timing = time_query_batch(solver, sources, category, k, algorithm)
+                series.add(q, timing.mean_ms)
+        elif vary == "k":
+            sources = workload.group("Q3")[:queries_per_point]
+            for k_value in K_VALUES:
+                timing = time_query_batch(
+                    solver, sources, category, k_value, algorithm
+                )
+                series.add(str(k_value), timing.mean_ms)
+        else:
+            raise ValueError(f"vary must be 'Q' or 'k', got {vary!r}")
+    return figure
+
+
+def fig7(
+    category: str = "Lake",
+    vary: str = "Q",
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 7: all seven algorithms on CAL (KPJ queries).
+
+    ``category`` selects the panel (Lake/Crater/Harbor); ``vary``
+    selects the x-axis (query group or k).
+    """
+    figure = FigureResult(
+        figure=f"Fig 7 ({category}, vary {vary})",
+        title=f"KPJ on CAL, category {category}",
+        x_label="Q group" if vary == "Q" else "k",
+    )
+    return _algorithm_sweep(
+        figure, "CAL", category, ALL_ALGOS, vary, queries_per_point, k, seed
+    )
+
+
+def fig8(
+    vary: str = "Q",
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 8: KSP queries — category "Glacier" has a single node."""
+    figure = FigureResult(
+        figure=f"Fig 8 (vary {vary})",
+        title="KSP on CAL, category Glacier (1 node)",
+        x_label="Q group" if vary == "Q" else "k",
+    )
+    return _algorithm_sweep(
+        figure, "CAL", "Glacier", ALL_ALGOS, vary, queries_per_point, k, seed
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 9–10 — our approaches on SJ and COL
+# ----------------------------------------------------------------------
+def fig9(
+    dataset: str = "SJ",
+    vary: str = "Q",
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 9: BestFirst / IterBound / IterBound_P / IterBound_I (T2)."""
+    figure = FigureResult(
+        figure=f"Fig 9 ({dataset}, vary {vary})",
+        title=f"Our approaches on {dataset}, category T2",
+        x_label="Q group" if vary == "Q" else "k",
+    )
+    return _algorithm_sweep(
+        figure, dataset, "T2", OUR_ALGOS, vary, queries_per_point, k, seed
+    )
+
+
+def fig10(
+    dataset: str = "SJ",
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 10: varying the number of destination nodes (T1..T4)."""
+    network, solver = solver_for(dataset, seed=seed)
+    figure = FigureResult(
+        figure=f"Fig 10 ({dataset})",
+        title=f"Varying |T| on {dataset} (Q3, k={k})",
+        x_label="category",
+    )
+    for algorithm in OUR_ALGOS:
+        series = figure.new_series(ALGO_LABELS[algorithm])
+        for category in NESTED:
+            workload = workload_for(dataset, category, seed=seed)
+            sources = workload.group("Q3")[:queries_per_point]
+            timing = time_query_batch(solver, sources, category, k, algorithm)
+            size = network.categories.size(category)
+            series.add(f"{category}({size})", timing.mean_ms)
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — shortest-path-length percentile vs |T|
+# ----------------------------------------------------------------------
+def fig11(
+    datasets: tuple[str, ...] = ("SJ", "SF", "COL", "FLA", "USA"),
+    sample_sources: int = 12,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 11: percentile position of the longest node-to-``T_i``
+    distance within the all-pairs distance distribution.
+
+    The paper computes this over all ``n * n`` pairs; we estimate the
+    all-pairs distribution from ``sample_sources`` full Dijkstra runs
+    (tens of millions of pair distances already at the default).
+    """
+    from repro.analysis import sample_distance_distribution
+
+    figure = FigureResult(
+        figure="Fig 11",
+        title="Longest shortest-path length to T_i, as an all-pairs percentile",
+        x_label="dataset",
+    )
+    for dataset in datasets:
+        network = road_network(dataset, seed=seed)
+        graph = network.graph
+        sample = sample_distance_distribution(graph, sample_sources, seed=seed)
+        series = figure.new_series(dataset)
+        for category in NESTED:
+            targets = network.categories.nodes_of(category)
+            dist = distances_to_targets(graph, targets)
+            longest = max(d for d in dist if d < INF)
+            series.add(category, sample.percentile_of(longest))
+    figure.notes = "values are percentiles (%), not milliseconds"
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — scalability of IterBound_I
+# ----------------------------------------------------------------------
+def fig12a(
+    datasets: tuple[str, ...] = ("SJ", "SF", "COL", "FLA", "USA"),
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 12(a): IterBound_I across graph sizes (T2, Q3, k=20)."""
+    figure = FigureResult(
+        figure="Fig 12a",
+        title="Scalability of IterBound_I over graph size (T2, Q3, k=20)",
+        x_label="dataset",
+    )
+    series = figure.new_series("IterBoundI")
+    for dataset in datasets:
+        _, solver = solver_for(dataset, seed=seed)
+        workload = workload_for(dataset, "T2", seed=seed)
+        sources = workload.group("Q3")[:queries_per_point]
+        timing = time_query_batch(solver, sources, "T2", k, "iter-bound-spti")
+        series.add(dataset, timing.mean_ms)
+    return figure
+
+
+def fig12b(
+    dataset: str = "COL",
+    k_values: tuple[int, ...] = (10, 50, 100, 200, 500),
+    queries_per_point: int = 3,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 12(b): IterBound_I on COL for large k (T2, Q3)."""
+    figure = FigureResult(
+        figure="Fig 12b",
+        title=f"Scalability of IterBound_I over k ({dataset}, T2, Q3)",
+        x_label="k",
+    )
+    _, solver = solver_for(dataset, seed=seed)
+    workload = workload_for(dataset, "T2", seed=seed)
+    sources = workload.group("Q3")[:queries_per_point]
+    series = figure.new_series("IterBoundI")
+    for k in k_values:
+        timing = time_query_batch(solver, sources, "T2", k, "iter-bound-spti")
+        series.add(str(k), timing.mean_ms)
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — GKPJ
+# ----------------------------------------------------------------------
+def _time_gkpj(
+    solver: KPJSolver,
+    source_sets: list[tuple[int, ...]],
+    category: str,
+    k: int,
+    algorithm: str,
+) -> float:
+    times = []
+    for sources in source_sets:
+        start = time.perf_counter()
+        solver.join(sources=sources, category=category, k=k, algorithm=algorithm)
+        times.append((time.perf_counter() - start) * 1000.0)
+    return statistics.fmean(times)
+
+
+def fig13(
+    dataset: str = "COL",
+    vary: str = "T",
+    queries_per_point: int = 3,
+    k: int = 20,
+    source_set_size: int = 4,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 13: GKPJ (4 random source nodes) — DA-SPT vs IterBound_I."""
+    network, solver = solver_for(dataset, seed=seed)
+    rng = random.Random(seed + 17)
+    source_sets = [
+        tuple(rng.sample(range(network.n), source_set_size))
+        for _ in range(queries_per_point)
+    ]
+    figure = FigureResult(
+        figure=f"Fig 13 (vary {vary})",
+        title=f"GKPJ on {dataset}, |V_S|={source_set_size}",
+        x_label="category" if vary == "T" else "k",
+    )
+    for algorithm in ("da-spt", "iter-bound-spti"):
+        series = figure.new_series(ALGO_LABELS[algorithm])
+        if vary == "T":
+            for category in NESTED:
+                size = network.categories.size(category)
+                mean = _time_gkpj(solver, source_sets, category, k, algorithm)
+                series.add(f"{category}({size})", mean)
+        elif vary == "k":
+            for k_value in K_VALUES:
+                mean = _time_gkpj(solver, source_sets, "T2", k_value, algorithm)
+                series.add(str(k_value), mean)
+        else:
+            raise ValueError(f"vary must be 'T' or 'k', got {vary!r}")
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Ablations (ours, motivated by DESIGN.md)
+# ----------------------------------------------------------------------
+class _Eq1Bounds:
+    """Eq. (1) target bound as a lazily cached heuristic callable."""
+
+    def __init__(self, index, targets: tuple[int, ...], n: int) -> None:
+        self._index = index
+        self._targets = targets
+        self._n = n
+        self._cache: dict[int, float] = {}
+
+    def __call__(self, u: int) -> float:
+        if u >= self._n:
+            return 0.0
+        cached = self._cache.get(u)
+        if cached is None:
+            cached = self._index.to_target_bound_eq1(u, self._targets)
+            self._cache[u] = cached
+        return cached
+
+
+def ablation_bounds(
+    dataset: str = "CAL",
+    category: str = "Harbor",
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Ablation A1: Eq. (1) vs Eq. (2) target bounds inside BestFirst.
+
+    Eq. (1) is tighter per node but ``O(|L| |V_T|)`` per evaluation;
+    Eq. (2) is the paper's choice.  Run BestFirst with each bound and
+    compare processing times.
+    """
+    from repro.core.best_first import best_first
+    from repro.core.stats import SearchStats
+    from repro.graph.virtual import build_query_graph
+
+    network, solver = solver_for(dataset, seed=seed)
+    index = solver.landmark_index
+    workload = workload_for(dataset, category, seed=seed)
+    sources = workload.group("Q3")[:queries_per_point]
+    figure = FigureResult(
+        figure="Ablation A1",
+        title=f"Eq.(1) vs Eq.(2) bounds, BestFirst on {dataset}/{category}",
+        x_label="bound",
+    )
+    targets = network.categories.nodes_of(category)
+    for label in ("Eq2", "Eq1"):
+        series = figure.new_series(label)
+        times = []
+        for source in sources:
+            qg = build_query_graph(network.graph, (source,), targets)
+            if label == "Eq2":
+                bounds = index.to_target_bounds(qg.destinations)
+            else:
+                bounds = _Eq1Bounds(index, qg.destinations, network.graph.n)
+            start = time.perf_counter()
+            best_first(qg, k, bounds, stats=SearchStats())
+            times.append((time.perf_counter() - start) * 1000.0)
+        series.add("BestFirst", statistics.fmean(times))
+    return figure
+
+
+def ablation_hub_labels(
+    dataset: str = "SJ",
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Ablation A3: the 2-hop index on KSP vs on KPJ (Section 3's claim).
+
+    For a *single* destination (KSP) the exact hub-label heuristic is
+    applicable and competitive; for a *category* (KPJ, here T2) the
+    per-node probe degrades to ``min`` over |V_T| label merges, and the
+    landmark Eq. (2) bound wins — the reason the paper builds its own
+    online indexes instead.
+    """
+    import statistics as _stats
+
+    from repro.core.best_first import best_first
+    from repro.core.stats import SearchStats
+    from repro.graph.virtual import build_query_graph
+    from repro.landmarks.hub_labels import HubLabelIndex, exact_target_heuristic
+
+    network, solver = solver_for(dataset, seed=seed)
+    landmark_index = solver.landmark_index
+    hub_index = HubLabelIndex.build(network.graph)
+    figure = FigureResult(
+        figure="Ablation A3",
+        title=f"2-hop labels vs landmarks inside BestFirst ({dataset})",
+        x_label="heuristic",
+    )
+
+    def timed(qg, bounds) -> float:
+        start = time.perf_counter()
+        best_first(qg, k, bounds, stats=SearchStats())
+        return (time.perf_counter() - start) * 1000.0
+
+    # KSP setting: single destination (first T1 node).
+    target = network.categories.nodes_of("T1")[0]
+    ksp_workload = workload_for(dataset, "T1", seed=seed)
+    ksp_sources = ksp_workload.group("Q3")[:queries_per_point]
+    # KPJ setting: the T2 category.
+    kpj_targets = network.categories.nodes_of("T2")
+    kpj_workload = workload_for(dataset, "T2", seed=seed)
+    kpj_sources = kpj_workload.group("Q3")[:queries_per_point]
+
+    hub = figure.new_series("hub-labels")
+    landmark = figure.new_series("landmarks-eq2")
+    n = network.graph.n
+    for label, sources, targets in (
+        ("KSP", ksp_sources, (target,)),
+        ("KPJ-T2", kpj_sources, kpj_targets),
+    ):
+        hub_times = []
+        landmark_times = []
+        for source in sources:
+            qg = build_query_graph(network.graph, (source,), targets)
+            if len(targets) == 1:
+                hub_bounds = exact_target_heuristic(hub_index, targets[0])
+            else:
+                # The KPJ probe the paper warns about: min over V_T per node.
+                def hub_bounds(v, _targets=targets):
+                    if v >= n:
+                        return 0.0
+                    return hub_index.distance_to_set(v, _targets)
+
+            hub_times.append(timed(qg, hub_bounds))
+            landmark_times.append(
+                timed(qg, landmark_index.to_target_bounds(qg.destinations))
+            )
+        hub.add(label, _stats.fmean(hub_times))
+        landmark.add(label, _stats.fmean(landmark_times))
+    return figure
+
+
+def work_table(
+    dataset: str = "CAL",
+    category: str = "Lake",
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Lemma 4.1 as a table: mean work counters per algorithm.
+
+    Shows *why* the timing figures look the way they do: shortest-path
+    computations collapse from O(k·n)-flavoured counts under the
+    deviation paradigm to a single initial computation under the
+    iteratively bounding approaches, and the settled-node counts track
+    each method's exploration area.
+    """
+    _, solver = solver_for(dataset, seed=seed)
+    workload = workload_for(dataset, category, seed=seed)
+    sources = workload.group("Q3")[:queries_per_point]
+    figure = FigureResult(
+        figure="Work counters",
+        title=f"Mean per-query work on {dataset}/{category} (Q3, k={k})",
+        x_label="algorithm",
+    )
+    sp = figure.new_series("sp_computations")
+    settled = figure.new_series("nodes_settled")
+    tests = figure.new_series("lb_tests")
+    for algorithm in ALL_ALGOS:
+        timing = time_query_batch(solver, sources, category, k, algorithm)
+        label = ALGO_LABELS[algorithm]
+        sp.add(label, timing.stats.shortest_path_computations / timing.queries)
+        settled.add(label, timing.stats.nodes_settled / timing.queries)
+        tests.add(label, timing.stats.lb_tests / timing.queries)
+    figure.notes = "values are per-query counters, not milliseconds"
+    return figure
+
+
+def ablation_alpha_counters(
+    dataset: str = "CAL",
+    category: str = "Harbor",
+    alphas: tuple[float, ...] = (1.05, 1.1, 1.2, 1.5, 1.8),
+    queries_per_point: int = 3,
+    k: int = 20,
+    seed: int = 0,
+) -> FigureResult:
+    """Ablation A2: how alpha trades TestLB calls against failures.
+
+    Smaller alpha means more, cheaper tests; larger alpha means fewer
+    tests that each explore more.  Reported values are counter means
+    per query (not milliseconds).
+    """
+    _, solver = solver_for(dataset, seed=seed)
+    workload = workload_for(dataset, category, seed=seed)
+    sources = workload.group("Q3")[:queries_per_point]
+    figure = FigureResult(
+        figure="Ablation A2",
+        title=f"IterBound_I TestLB counters vs alpha ({dataset}/{category})",
+        x_label="alpha",
+    )
+    tests = figure.new_series("lb_tests")
+    failures = figure.new_series("lb_test_failures")
+    settled = figure.new_series("nodes_settled")
+    for alpha in alphas:
+        timing = time_query_batch(
+            solver, sources, category, k, "iter-bound-spti", alpha=alpha
+        )
+        tests.add(f"{alpha:g}", timing.stats.lb_tests / timing.queries)
+        failures.add(f"{alpha:g}", timing.stats.lb_test_failures / timing.queries)
+        settled.add(f"{alpha:g}", timing.stats.nodes_settled / timing.queries)
+    figure.notes = "values are per-query counters, not milliseconds"
+    return figure

@@ -1,0 +1,82 @@
+"""Rendering of reproduced figures as aligned text tables.
+
+The paper's figures are log-scale line plots of processing time; in a
+terminal-first reproduction the equivalent artefact is a table with
+one row per series and one column per x value, which is what
+:func:`format_figure` produces.  :func:`format_speedups` adds the
+relative view (every series normalised by a baseline) since the
+paper's claims are about ratios, not absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.harness import FigureResult
+
+__all__ = ["format_figure", "format_speedups", "write_figure"]
+
+
+def _fmt(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def format_figure(figure: FigureResult, unit: str = "ms") -> str:
+    """Render a figure as an aligned table (rows = series)."""
+    xs: list[str] = []
+    for series in figure.series:
+        for x, _ in series.points:
+            if x not in xs:
+                xs.append(x)
+    label_width = max([len(s.label) for s in figure.series] + [len(figure.x_label)])
+    col_width = max([len(x) for x in xs] + [8])
+    lines = [f"{figure.figure}: {figure.title}  [{unit}]"]
+    header = f"{figure.x_label:<{label_width}}  " + "  ".join(
+        f"{x:>{col_width}}" for x in xs
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for series in figure.series:
+        values = dict(series.points)
+        cells = []
+        for x in xs:
+            value = values.get(x)
+            cells.append(f"{_fmt(value):>{col_width}}" if value is not None else " " * col_width)
+        lines.append(f"{series.label:<{label_width}}  " + "  ".join(cells))
+    if figure.notes:
+        lines.append(f"note: {figure.notes}")
+    return "\n".join(lines)
+
+
+def format_speedups(figure: FigureResult, baseline_label: str) -> str:
+    """Render the same figure as speedups relative to one series."""
+    baseline = next(
+        (s for s in figure.series if s.label == baseline_label), None
+    )
+    if baseline is None:
+        raise ValueError(f"no series labelled {baseline_label!r} in {figure.figure}")
+    base = dict(baseline.points)
+    relative = FigureResult(
+        figure=figure.figure,
+        title=f"{figure.title} — speedup vs {baseline_label}",
+        x_label=figure.x_label,
+    )
+    for series in figure.series:
+        out = relative.new_series(series.label)
+        for x, value in series.points:
+            if x in base and value > 0:
+                out.add(x, base[x] / value)
+    return format_figure(relative, unit="x")
+
+
+def write_figure(figure: FigureResult, directory: str | Path, unit: str = "ms") -> Path:
+    """Persist a rendered figure under ``directory`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{figure.figure.lower().replace(' ', '_')}.txt"
+    path.write_text(format_figure(figure, unit=unit) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Subcommands::
+
+    kpj query    --dataset CAL --source 12 --category Lake --k 10
+    kpj datasets
+    kpj bench    --figure fig7 [--queries 3]
+
+``query`` answers one KPJ query on a named dataset and prints the
+paths; ``datasets`` lists the registry (Table-1 style); ``bench``
+reproduces one figure and prints its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench import experiments
+from repro.bench.reporting import format_figure
+from repro.core.kpj import ALGORITHMS, DEFAULT_ALGORITHM, KPJSolver
+from repro.datasets.registry import available_datasets, road_network
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig6a": experiments.fig6a,
+    "fig6b": experiments.fig6b,
+    "fig7": experiments.fig7,
+    "fig8": experiments.fig8,
+    "fig9": experiments.fig9,
+    "fig10": experiments.fig10,
+    "fig11": experiments.fig11,
+    "fig12a": experiments.fig12a,
+    "fig12b": experiments.fig12b,
+    "fig13": experiments.fig13,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="kpj",
+        description="Top-K Shortest Path Join (EDBT 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="answer one KPJ query")
+    query.add_argument("--dataset", required=True, choices=available_datasets())
+    query.add_argument("--source", type=int, required=True)
+    query.add_argument("--category", required=True)
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument(
+        "--algorithm", default=DEFAULT_ALGORITHM, choices=sorted(ALGORITHMS)
+    )
+    query.add_argument("--landmarks", type=int, default=16)
+    query.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    sub.add_parser("datasets", help="list datasets (Table 1)")
+
+    bench = sub.add_parser("bench", help="reproduce one figure")
+    bench.add_argument("--figure", required=True, choices=sorted(_FIGURES))
+    bench.add_argument("--queries", type=int, default=3)
+
+    compare = sub.add_parser(
+        "compare", help="run every algorithm on one query and verify agreement"
+    )
+    compare.add_argument("--dataset", required=True, choices=available_datasets())
+    compare.add_argument("--source", type=int, required=True)
+    compare.add_argument("--category", required=True)
+    compare.add_argument("--k", type=int, default=10)
+    compare.add_argument("--landmarks", type=int, default=16)
+
+    explain = sub.add_parser(
+        "explain", help="narrate the iteratively bounding search for one query"
+    )
+    explain.add_argument("--dataset", required=True, choices=available_datasets())
+    explain.add_argument("--source", type=int, required=True)
+    explain.add_argument("--category", required=True)
+    explain.add_argument("--k", type=int, default=5)
+    explain.add_argument("--landmarks", type=int, default=16)
+    explain.add_argument("--limit", type=int, default=40, help="max events shown")
+    return parser
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = road_network(args.dataset)
+    if args.source < 0 or args.source >= dataset.n:
+        print(f"source must be in [0, {dataset.n})", file=sys.stderr)
+        return 2
+    solver = KPJSolver(dataset.graph, dataset.categories, landmarks=args.landmarks)
+    result = solver.top_k(
+        args.source, category=args.category, k=args.k, algorithm=args.algorithm
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(
+        f"top-{args.k} paths from node {args.source} to category "
+        f"{args.category!r} on {args.dataset} ({args.algorithm}):"
+    )
+    for rank, path in enumerate(result.paths, start=1):
+        nodes = " -> ".join(str(v) for v in path.nodes)
+        print(f"{rank:3d}. length {path.length:10.4f}  {nodes}")
+    if not result.paths:
+        print("  (no path found)")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    print(f"{'dataset':<8} {'nodes':>9} {'edges':>9} {'paper n':>10} {'paper m':>11}")
+    for row in experiments.table1():
+        print(
+            f"{row['dataset']:<8} {row['nodes']:>9} {row['edges']:>9} "
+            f"{row['paper_nodes']:>10} {row['paper_edges']:>11}"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import inspect
+
+    run = _FIGURES[args.figure]
+    kwargs = {}
+    if "queries_per_point" in inspect.signature(run).parameters:
+        kwargs["queries_per_point"] = args.queries
+    figure = run(**kwargs)
+    print(format_figure(figure))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import time
+
+    dataset = road_network(args.dataset)
+    if args.source < 0 or args.source >= dataset.n:
+        print(f"source must be in [0, {dataset.n})", file=sys.stderr)
+        return 2
+    solver = KPJSolver(dataset.graph, dataset.categories, landmarks=args.landmarks)
+    header = f"{'algorithm':<22} {'time':>10} {'SP comps':>9} {'settled':>9}"
+    print(header)
+    print("-" * len(header))
+    reference: tuple[float, ...] | None = None
+    mismatches = 0
+    for algorithm in sorted(ALGORITHMS):
+        start = time.perf_counter()
+        result = solver.top_k(
+            args.source, category=args.category, k=args.k, algorithm=algorithm
+        )
+        elapsed = (time.perf_counter() - start) * 1000.0
+        lengths = tuple(round(x, 9) for x in result.lengths)
+        if reference is None:
+            reference = lengths
+        agree = lengths == reference
+        if not agree:
+            mismatches += 1
+        print(
+            f"{algorithm:<22} {elapsed:8.1f}ms "
+            f"{result.stats.shortest_path_computations:>9} "
+            f"{result.stats.nodes_settled:>9}"
+            f"{'' if agree else '  <-- MISMATCH'}"
+        )
+    if mismatches:
+        print(f"{mismatches} algorithms disagree!", file=sys.stderr)
+        return 1
+    print(f"all algorithms agree on {len(reference or ())} path lengths")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.iter_bound import iter_bound
+    from repro.core.trace import SearchTrace
+    from repro.graph.virtual import build_query_graph
+
+    dataset = road_network(args.dataset)
+    if args.source < 0 or args.source >= dataset.n:
+        print(f"source must be in [0, {dataset.n})", file=sys.stderr)
+        return 2
+    solver = KPJSolver(dataset.graph, dataset.categories, landmarks=args.landmarks)
+    destinations = dataset.categories.nodes_of(args.category)
+    qg = build_query_graph(dataset.graph, (args.source,), destinations)
+    bounds = (
+        solver.landmark_index.to_target_bounds(qg.destinations)
+        if solver.landmark_index is not None
+        else (lambda _: 0.0)
+    )
+    trace = SearchTrace()
+    paths = iter_bound(qg, args.k, bounds, trace=trace)
+    print(
+        f"IterBound on {args.dataset}: node {args.source} -> category "
+        f"{args.category!r} (|V_T|={len(destinations)}), k={args.k}\n"
+    )
+    print(trace.render(limit=args.limit))
+    print(f"\nfound {len(paths)} paths; lengths: "
+          + ", ".join(f"{p.length:.4g}" for p in paths))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""GKPJ — the general KPJ with a set-valued source (Section 6).
+
+The paper reduces ``Q = {S, T, k}`` to a KPJ query by adding a virtual
+source connected to every node of ``V_S`` with zero-weight edges; the
+reduction is already wired into
+:func:`repro.graph.virtual.build_query_graph` and
+:meth:`repro.core.kpj.KPJSolver.join`.  This module provides the
+function-style entry point for callers who do not hold a solver.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.kpj import DEFAULT_ALGORITHM, KPJSolver
+from repro.core.result import QueryResult
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+from repro.landmarks.index import LandmarkIndex
+
+__all__ = ["gkpj"]
+
+
+def gkpj(
+    graph: DiGraph,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    k: int,
+    landmarks: LandmarkIndex | int | None = 16,
+    algorithm: str = DEFAULT_ALGORITHM,
+    alpha: float = 1.1,
+    categories: CategoryIndex | None = None,
+) -> QueryResult:
+    """One-shot GKPJ: top-``k`` simple paths from any source to any
+    destination.
+
+    Convenience wrapper that builds a throwaway
+    :class:`~repro.core.kpj.KPJSolver`; prefer holding a solver when
+    issuing many queries (landmark construction is the expensive
+    offline step).
+    """
+    solver = KPJSolver(graph, categories=categories, landmarks=landmarks)
+    return solver.join(
+        sources=tuple(sources),
+        destinations=tuple(destinations),
+        k=k,
+        algorithm=algorithm,
+        alpha=alpha,
+    )

@@ -1,0 +1,191 @@
+"""The iteratively bounding driver (Section 5.1, Algs. 4–5).
+
+``IterBound`` keeps the best-first queue of subspaces but replaces the
+unconditional ``CompSP`` with ``TestLB``: a *bounded* A* that either
+finds the subspace's shortest path (when its length is at most the
+threshold ``τ``) or proves the lower bound ``τ`` and stops early.
+``τ`` starts at the length of the 1st shortest path and is enlarged by
+a factor ``α`` (default 1.1, the paper's choice from Fig. 6(b)) each
+time a subspace is re-examined, so the tested bound approaches
+``ω(P_k)`` geometrically while cheap tests prune most subspaces.
+
+The driver is orientation-agnostic: the plain/``SPT_P`` variants run
+it forward on ``G_Q`` (root = source, goal = virtual target) and the
+``SPT_I`` variant runs it *backward* on the reversed ``G_Q``
+(root = virtual target, goal = source), supplying its own ``CompLB``
+(Alg. 8) and a pre-test hook that grows the incremental tree.  A
+``τ``-cap equal to the total edge weight of the graph retires
+subspaces that are provably empty (a dead-end prefix can otherwise
+bounce forever — the paper implicitly assumes enough paths exist).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Callable
+
+from repro.core.result import Path
+from repro.core.stats import SearchStats
+from repro.core.subspace import Subspace, compute_lower_bound, divide
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import QueryGraph
+from repro.pathing.astar import astar_path, bounded_astar_path
+
+__all__ = ["iter_bound_search", "iter_bound"]
+
+INF = float("inf")
+
+
+def iter_bound_search(
+    graph: DiGraph,
+    root: int,
+    goal: int,
+    k: int,
+    heuristic: Callable[[int], float],
+    alpha: float = 1.1,
+    stats: SearchStats | None = None,
+    initial: tuple[tuple[int, ...], float] | None = None,
+    comp_lb: Callable[[Subspace], float] | None = None,
+    before_test: Callable[[float], None] | None = None,
+    trace=None,
+) -> list[Path]:
+    """Generic Alg. 4 driver; returns paths in ``graph`` coordinates.
+
+    Parameters
+    ----------
+    graph, root, goal:
+        The search graph and endpoints (already virtual-transformed;
+        possibly reversed).
+    heuristic:
+        ``lb(v, goal)`` used by ``TestLB``'s priority/pruning and by
+        the default ``CompLB``.
+    alpha:
+        Threshold growth factor (> 1).
+    initial:
+        The query's first shortest path ``(path, length)``, if a
+        by-product of index construction already produced it (Algs. 6
+        and 7 do); computed here otherwise.
+    comp_lb:
+        Override for the one-hop subspace bound (Alg. 8 for the
+        ``SPT_I`` variant).  Defaults to Alg. 3 over ``graph``.
+    before_test:
+        Hook invoked with ``τ`` right before each ``TestLB`` — the
+        ``SPT_I`` variant grows its tree here (Alg. 7's placement:
+        after line 9, before line 10 of Alg. 4).
+    trace:
+        Optional :class:`repro.core.trace.SearchTrace` recording the
+        loop's events (outputs, test hits/misses, retirements).
+    """
+    if not alpha > 1.0:
+        raise ValueError(f"alpha must be > 1, got {alpha}")
+    stats = stats if stats is not None else SearchStats()
+    adjacency = graph.adjacency
+    if comp_lb is None:
+        def comp_lb(subspace: Subspace) -> float:
+            return compute_lower_bound(adjacency, subspace, heuristic)
+
+    if initial is None:
+        stats.shortest_path_computations += 1
+        initial = astar_path(graph, root, goal, heuristic, stats=stats)
+    if initial is None:
+        return []
+    first_path, first_length = initial
+
+    # No simple path can be longer than n * max edge weight; testing a
+    # subspace at this bound without success proves it empty.
+    tau_limit = graph.n * graph.max_edge_weight + 1.0
+
+    tie = count()
+    queue: list[tuple[float, int, Subspace, tuple[int, ...] | None]] = []
+    heappush(queue, (first_length, next(tie), Subspace.entire(root), first_path))
+    stats.subspaces_created += 1
+
+    results: list[Path] = []
+    edge_weight = graph.edge_weight
+    test_info: dict = {}
+    while queue and len(results) < k:
+        bound, _, subspace, path = heappop(queue)
+        if path is not None:
+            results.append(Path(length=bound, nodes=path))
+            if trace is not None:
+                trace.record("output", subspace.prefix, bound, length=bound)
+            for child in divide(subspace, path, bound, edge_weight):
+                stats.subspaces_created += 1
+                stats.lower_bound_computations += 1
+                child_bound = comp_lb(child)
+                if child_bound == INF:
+                    stats.subspaces_pruned += 1
+                    continue
+                if child_bound < bound:
+                    child_bound = bound
+                heappush(queue, (child_bound, next(tie), child, None))
+            continue
+        # Enlarge tau: alpha * max(lb(S), next pending bound) — Alg. 4
+        # line 9, with the queue top defined as +inf when empty.
+        next_bound = queue[0][0] if queue else INF
+        tau = alpha * max(bound, next_bound, first_length)
+        if tau <= 0.0:
+            # All pending bounds are zero (possible only when the source
+            # is itself a destination and Alg. 8 floored a bound at 0);
+            # any positive value restores geometric growth.
+            tau = graph.max_edge_weight or 1.0
+        if tau >= tau_limit:
+            tau = tau_limit
+        if before_test is not None:
+            before_test(tau)
+        stats.lb_tests += 1
+        found = bounded_astar_path(
+            graph,
+            subspace.head,
+            goal,
+            heuristic,
+            bound=tau,
+            blocked=subspace.blocked,
+            banned_first_hops=subspace.banned,
+            initial_distance=subspace.prefix_weight,
+            stats=stats,
+            info=test_info,
+        )
+        if found is not None:
+            tail, length = found
+            if trace is not None:
+                trace.record("test-hit", subspace.prefix, bound, tau=tau, length=length)
+            heappush(queue, (length, next(tie), subspace, subspace.prefix[:-1] + tail))
+            continue
+        stats.lb_test_failures += 1
+        if not test_info["pruned"] or tau >= tau_limit:
+            if trace is not None:
+                trace.record("retire", subspace.prefix, bound, tau=tau)
+            stats.subspaces_pruned += 1  # provably empty — retire it
+            continue
+        if trace is not None:
+            trace.record("test-miss", subspace.prefix, bound, tau=tau)
+        heappush(queue, (tau, next(tie), subspace, None))
+    stats.subspaces_pruned += sum(1 for entry in queue if entry[3] is None)
+    return results
+
+
+def iter_bound(
+    query_graph: QueryGraph,
+    k: int,
+    heuristic: Callable[[int], float],
+    alpha: float = 1.1,
+    stats: SearchStats | None = None,
+    trace=None,
+) -> list[Path]:
+    """The plain (index-free) ``IterBound`` on a query transform.
+
+    Forward orientation: root = source, goal = virtual target; the
+    landmark bound doubles as ``TestLB``'s heuristic.
+    """
+    return iter_bound_search(
+        query_graph.graph,
+        query_graph.source,
+        query_graph.target,
+        k,
+        heuristic,
+        alpha=alpha,
+        stats=stats,
+        trace=trace,
+    )

@@ -1,0 +1,341 @@
+"""Unified KPJ/KSP solver facade and the algorithm registry.
+
+:class:`KPJSolver` is the public entry point of the library: construct
+it once per graph (landmark selection and the per-landmark Dijkstra
+runs happen here — the offline ``O(|L| (m + n log n))`` step of the
+paper), then issue any number of queries.  Each query builds the
+``G_Q`` overlay, derives the per-query landmark bound vectors, runs
+the selected algorithm, and strips virtual nodes from the results.
+
+Algorithm registry names (paper names in parentheses):
+
+========================  =======================================
+``da``                    DA (Alg. 1, deviation baseline)
+``da-spt``                DA-SPT (full-SPT deviation, Gao et al.)
+``best-first``            BestFirst (Alg. 2)
+``iter-bound``            IterBound (Alg. 4)
+``iter-bound-sptp``       IterBound-SPT_P (Section 5.2)
+``iter-bound-spti``       IterBound-SPT_I (Section 5.3, default)
+``iter-bound-spti-nl``    IterBound-SPT_I without landmarks (§6)
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.baselines.deviation import deviation_algorithm
+from repro.baselines.deviation_spt import deviation_spt
+from repro.core.best_first import best_first
+from repro.core.iter_bound import iter_bound
+from repro.core.result import Path, QueryResult
+from repro.core.spt_incremental import iter_bound_spti
+from repro.core.spt_partial import iter_bound_sptp
+from repro.core.stats import SearchStats
+from repro.exceptions import QueryError
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import QueryGraph, build_query_graph
+from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex
+
+__all__ = [
+    "KPJSolver",
+    "PreparedCategory",
+    "QueryContext",
+    "ALGORITHMS",
+    "DEFAULT_ALGORITHM",
+]
+
+DEFAULT_ALGORITHM = "iter-bound-spti"
+
+
+@dataclass
+class QueryContext:
+    """Per-query inputs shared by every algorithm implementation.
+
+    ``target_bounds``/``source_bounds`` are the Eq. (2)-style landmark
+    bound vectors (or the zero bound); ``alpha`` is the iteratively
+    bounding growth factor; ``stats`` collects instrumentation.
+    """
+
+    target_bounds: Callable[[int], float]
+    source_bounds: Callable[[int], float]
+    alpha: float
+    stats: SearchStats
+
+
+def _run_da(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    return deviation_algorithm(qg, k, stats=ctx.stats)
+
+
+def _run_da_spt(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    return deviation_spt(qg, k, stats=ctx.stats)
+
+
+def _run_best_first(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    return best_first(qg, k, ctx.target_bounds, stats=ctx.stats)
+
+
+def _run_iter_bound(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    return iter_bound(qg, k, ctx.target_bounds, alpha=ctx.alpha, stats=ctx.stats)
+
+
+def _run_iter_bound_sptp(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    return iter_bound_sptp(
+        qg, k, ctx.target_bounds, ctx.source_bounds, alpha=ctx.alpha, stats=ctx.stats
+    )
+
+
+def _run_iter_bound_spti(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    return iter_bound_spti(
+        qg, k, ctx.target_bounds, ctx.source_bounds, alpha=ctx.alpha, stats=ctx.stats
+    )
+
+
+def _run_iter_bound_spti_nl(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    return iter_bound_spti(
+        qg, k, ZERO_BOUNDS, ZERO_BOUNDS, alpha=ctx.alpha, stats=ctx.stats
+    )
+
+
+ALGORITHMS: dict[str, Callable[[QueryGraph, int, QueryContext], list[Path]]] = {
+    "da": _run_da,
+    "da-spt": _run_da_spt,
+    "best-first": _run_best_first,
+    "iter-bound": _run_iter_bound,
+    "iter-bound-sptp": _run_iter_bound_sptp,
+    "iter-bound-spti": _run_iter_bound_spti,
+    "iter-bound-spti-nl": _run_iter_bound_spti_nl,
+}
+
+
+class KPJSolver:
+    """Answers KPJ, KSP, and GKPJ queries over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The frozen input graph ``G``.
+    categories:
+        POI inverted index; required for category queries, optional if
+        every query passes explicit destination nodes.
+    landmarks:
+        ``int`` — build a landmark index of that size here (the
+        paper's default is 16); an existing :class:`LandmarkIndex` —
+        use it; ``None`` — run without landmarks (all Eq. (2) bounds
+        become 0).
+    landmark_strategy, seed:
+        Forwarded to :meth:`LandmarkIndex.build` when ``landmarks``
+        is an ``int``.
+
+    Example
+    -------
+    >>> solver = KPJSolver(graph, categories, landmarks=16)
+    >>> result = solver.top_k(source=5, category="Hotel", k=3)
+    >>> [p.length for p in result.paths]        # doctest: +SKIP
+    [5.0, 6.0, 7.0]
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        categories: CategoryIndex | None = None,
+        landmarks: LandmarkIndex | int | None = 16,
+        landmark_strategy: str = "farthest",
+        seed: int = 0,
+    ) -> None:
+        if not graph.frozen:
+            graph.freeze()
+        self.graph = graph
+        self.categories = categories
+        if isinstance(landmarks, int):
+            self.landmark_index: LandmarkIndex | None = LandmarkIndex.build(
+                graph, landmarks, strategy=landmark_strategy, seed=seed
+            )
+        else:
+            self.landmark_index = landmarks
+
+    # ------------------------------------------------------------------
+    # Public queries
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        source: int,
+        category: str | None = None,
+        destinations: Sequence[int] | None = None,
+        k: int = 10,
+        algorithm: str = DEFAULT_ALGORITHM,
+        alpha: float = 1.1,
+    ) -> QueryResult:
+        """KPJ query ``{s, T, k}``: top-``k`` simple paths from
+        ``source`` to a category (or an explicit destination set).
+        """
+        return self._solve((source,), category, destinations, k, algorithm, alpha)
+
+    def ksp(
+        self,
+        source: int,
+        target: int,
+        k: int = 10,
+        algorithm: str = DEFAULT_ALGORITHM,
+        alpha: float = 1.1,
+    ) -> QueryResult:
+        """KSP query: the degenerate KPJ with a single destination."""
+        return self._solve((source,), None, (target,), k, algorithm, alpha)
+
+    def join(
+        self,
+        source_category: str | None = None,
+        category: str | None = None,
+        sources: Sequence[int] | None = None,
+        destinations: Sequence[int] | None = None,
+        k: int = 10,
+        algorithm: str = DEFAULT_ALGORITHM,
+        alpha: float = 1.1,
+    ) -> QueryResult:
+        """GKPJ query ``{S, T, k}``: both endpoints are node sets.
+
+        Endpoint sets are given either as category names or as
+        explicit node sequences (Section 6's virtual-source reduction
+        is applied automatically).
+        """
+        source_nodes = self._resolve(source_category, sources, "source")
+        return self._solve(source_nodes, category, destinations, k, algorithm, alpha)
+
+    def prepare(
+        self,
+        category: str | None = None,
+        destinations: Sequence[int] | None = None,
+    ) -> "PreparedCategory":
+        """Pre-resolve a destination set for a batch of queries.
+
+        The Eq. (2) target-bound vector depends only on the
+        destination set; preparing it once and issuing many
+        ``top_k`` calls against the handle skips the ``O(|L| n)``
+        per-query initialisation (the paper's "computed once for each
+        query" step, hoisted across a workload).
+        """
+        dest = self._resolve(category, destinations, "destination")
+        if self.landmark_index is not None:
+            target_bounds = self.landmark_index.to_target_bounds(dest)
+        else:
+            target_bounds = ZERO_BOUNDS
+        return PreparedCategory(self, dest, target_bounds)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve(
+        self,
+        category: str | None,
+        nodes: Sequence[int] | None,
+        role: str,
+    ) -> tuple[int, ...]:
+        if nodes is not None:
+            if category is not None:
+                raise QueryError(f"give either a {role} category or nodes, not both")
+            return tuple(nodes)
+        if category is None:
+            raise QueryError(f"query needs a {role} category or explicit nodes")
+        if self.categories is None:
+            raise QueryError(
+                "solver was built without a CategoryIndex; pass explicit nodes"
+            )
+        return self.categories.nodes_of(category)
+
+    def _solve(
+        self,
+        sources: tuple[int, ...],
+        category: str | None,
+        destinations: Sequence[int] | None,
+        k: int,
+        algorithm: str,
+        alpha: float,
+        prepared_bounds: Callable[[int], float] | None = None,
+    ) -> QueryResult:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        try:
+            run = ALGORITHMS[algorithm]
+        except KeyError:
+            known = ", ".join(sorted(ALGORITHMS))
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; choose one of: {known}"
+            ) from None
+        dest = self._resolve(category, destinations, "destination")
+        qg = build_query_graph(self.graph, sources, dest)
+        stats = SearchStats()
+        if self.landmark_index is not None:
+            target_bounds = (
+                prepared_bounds
+                if prepared_bounds is not None
+                else self.landmark_index.to_target_bounds(qg.destinations)
+            )
+            source_bounds = self.landmark_index.from_source_bounds(qg.sources)
+        else:
+            target_bounds = ZERO_BOUNDS
+            source_bounds = ZERO_BOUNDS
+        ctx = QueryContext(
+            target_bounds=target_bounds,
+            source_bounds=source_bounds,
+            alpha=alpha,
+            stats=stats,
+        )
+        raw = run(qg, k, ctx)
+        paths = [Path(length=p.length, nodes=qg.strip(p.nodes)) for p in raw]
+        return QueryResult(paths=paths, algorithm=algorithm, stats=stats)
+
+
+class PreparedCategory:
+    """A destination set with its target-bound vector precomputed.
+
+    Produced by :meth:`KPJSolver.prepare`; issue any number of
+    ``top_k`` / ``join`` calls without re-deriving the Eq. (2) bounds.
+    """
+
+    def __init__(
+        self,
+        solver: KPJSolver,
+        destinations: tuple[int, ...],
+        target_bounds: Callable[[int], float],
+    ) -> None:
+        self._solver = solver
+        self.destinations = destinations
+        self._target_bounds = target_bounds
+
+    def top_k(
+        self,
+        source: int,
+        k: int = 10,
+        algorithm: str = DEFAULT_ALGORITHM,
+        alpha: float = 1.1,
+    ) -> QueryResult:
+        """KPJ query against the prepared destination set."""
+        return self._solver._solve(
+            (source,),
+            None,
+            self.destinations,
+            k,
+            algorithm,
+            alpha,
+            prepared_bounds=self._target_bounds,
+        )
+
+    def join(
+        self,
+        sources: Sequence[int],
+        k: int = 10,
+        algorithm: str = DEFAULT_ALGORITHM,
+        alpha: float = 1.1,
+    ) -> QueryResult:
+        """GKPJ query against the prepared destination set."""
+        return self._solver._solve(
+            tuple(sources),
+            None,
+            self.destinations,
+            k,
+            algorithm,
+            alpha,
+            prepared_bounds=self._target_bounds,
+        )

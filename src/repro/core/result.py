@@ -1,0 +1,89 @@
+"""Result types returned by every solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.stats import SearchStats
+
+__all__ = ["Path", "QueryResult"]
+
+
+@dataclass(frozen=True, order=True)
+class Path:
+    """A simple path and its length.
+
+    Ordered by ``(length, nodes)`` so result lists sort the way the
+    paper ranks paths (non-decreasing length, ties broken
+    deterministically).
+    """
+
+    length: float
+    nodes: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (``{"length": ..., "nodes": [...]}``)."""
+        return {"length": self.length, "nodes": list(self.nodes)}
+
+    @property
+    def source(self) -> int:
+        """First node of the path."""
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        """Last node of the path."""
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+
+@dataclass
+class QueryResult:
+    """The answer to one KPJ / KSP / GKPJ query.
+
+    Attributes
+    ----------
+    paths:
+        At most ``k`` paths, non-decreasing in length.  Fewer than
+        ``k`` means the graph contains fewer simple paths to the
+        destination set.
+    algorithm:
+        Registry name of the algorithm that produced the answer.
+    stats:
+        Instrumentation counters (shortest-path computations, settled
+        nodes, ...) — the quantities Lemma 4.1 reasons about.
+    """
+
+    paths: list[Path]
+    algorithm: str
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation including stats counters."""
+        return {
+            "algorithm": self.algorithm,
+            "paths": [p.to_dict() for p in self.paths],
+            "stats": self.stats.as_dict(),
+        }
+
+    @property
+    def lengths(self) -> tuple[float, ...]:
+        """The path lengths, in order."""
+        return tuple(p.length for p in self.paths)
+
+    @property
+    def k_found(self) -> int:
+        """Number of paths actually found."""
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self.paths)
+
+    def __len__(self) -> int:
+        return len(self.paths)

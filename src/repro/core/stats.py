@@ -1,0 +1,62 @@
+"""Instrumentation counters shared by all algorithms.
+
+The paper's central efficiency claims are about *how much work* each
+paradigm does — the number of shortest-path computations (Lemma 4.1),
+the exploration area of lower-bound tests (Section 5), the cost of
+building shortest-path trees.  :class:`SearchStats` records exactly
+those quantities so tests can assert the lemmas and benchmarks can
+report them next to wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Mutable counters threaded through the search kernels.
+
+    Attributes
+    ----------
+    shortest_path_computations:
+        Full constrained shortest-path searches (``CompSP`` calls, or
+        candidate-path computations in the deviation paradigm).
+    lower_bound_computations:
+        ``CompLB`` evaluations (cheap, neighbour-only).
+    lb_tests / lb_test_failures:
+        ``TestLB`` invocations and how many returned "bound holds"
+        (i.e. pruned without producing a path).
+    nodes_settled / edges_relaxed:
+        Priority-queue pops with exact distances / successful edge
+        relaxations, across every kernel of the query.
+    spt_nodes:
+        Final size of the SPT index built for the query (full SPT for
+        DA-SPT, ``SPT_P`` or ``SPT_I`` for the indexed variants).
+    subspaces_created / subspaces_pruned:
+        Subspaces produced by division / subspaces discarded without a
+        shortest-path computation (empty or still unresolved when the
+        k-th path was confirmed).
+    """
+
+    shortest_path_computations: int = 0
+    lower_bound_computations: int = 0
+    lb_tests: int = 0
+    lb_test_failures: int = 0
+    nodes_settled: int = 0
+    edges_relaxed: int = 0
+    spt_nodes: int = 0
+    subspaces_created: int = 0
+    subspaces_pruned: int = 0
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Add another stats object into this one (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot, for reporting."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,94 @@
+"""Search tracing — the iteratively bounding loop, narrated.
+
+Understanding *why* a query was fast (or was not) requires seeing the
+τ schedule: which subspaces were popped, what threshold each test
+used, which tests failed cheaply and which produced paths.  A
+:class:`SearchTrace` passed into the driver records exactly that, and
+renders either a per-event narrative (the ``kpj explain`` command) or
+an aggregate summary.
+
+Tracing is strictly opt-in and costs nothing when absent — the driver
+guards every recording site on ``trace is not None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "SearchTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of the search loop.
+
+    ``kind`` is one of:
+
+    * ``"output"`` — a subspace's path became the next result;
+    * ``"test-hit"`` — ``TestLB`` found the subspace's shortest path;
+    * ``"test-miss"`` — ``TestLB`` proved the bound instead;
+    * ``"retire"`` — a subspace was proven empty and dropped.
+    """
+
+    kind: str
+    prefix: tuple[int, ...]
+    bound: float
+    tau: float | None = None
+    length: float | None = None
+
+    def render(self) -> str:
+        """One human-readable line."""
+        head = f"[{self.kind:9s}] prefix={self.prefix}"
+        parts = [head, f"lb={self.bound:.4g}"]
+        if self.tau is not None:
+            parts.append(f"tau={self.tau:.4g}")
+        if self.length is not None:
+            parts.append(f"length={self.length:.4g}")
+        return "  ".join(parts)
+
+
+@dataclass
+class SearchTrace:
+    """Event sink for one query's iteratively bounding search."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        prefix: tuple[int, ...],
+        bound: float,
+        tau: float | None = None,
+        length: float | None = None,
+    ) -> None:
+        """Append one event."""
+        self.events.append(
+            TraceEvent(kind=kind, prefix=prefix, bound=bound, tau=tau, length=length)
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Events per kind."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def tau_schedule(self) -> list[float]:
+        """The thresholds tested, in order."""
+        return [e.tau for e in self.events if e.tau is not None]
+
+    def render(self, limit: int | None = None) -> str:
+        """The narrative, one line per event (optionally truncated)."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [event.render() for event in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items()))
+        lines.append(f"totals: {counts}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,34 @@
+"""Datasets: synthetic road networks, POIs, the registry, workloads."""
+
+from repro.datasets.poi import cal_style_categories, nested_categories
+from repro.datasets.queries import (
+    QueryWorkload,
+    distances_to_targets,
+    stratified_sources,
+)
+from repro.datasets.registry import (
+    DATASET_GRIDS,
+    RoadNetwork,
+    available_datasets,
+    road_network,
+)
+from repro.datasets.synthetic import (
+    grid_road_network,
+    largest_connected_component,
+    radial_road_network,
+)
+
+__all__ = [
+    "cal_style_categories",
+    "nested_categories",
+    "QueryWorkload",
+    "distances_to_targets",
+    "stratified_sources",
+    "DATASET_GRIDS",
+    "RoadNetwork",
+    "available_datasets",
+    "road_network",
+    "grid_road_network",
+    "largest_connected_component",
+    "radial_road_network",
+]

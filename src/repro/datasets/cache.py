@@ -1,0 +1,69 @@
+"""Disk caching of generated datasets.
+
+The synthetic generators are deterministic but not free (the USA-scale
+network takes seconds to generate and connect); pipelines that restart
+frequently — notebooks, CI shards, the benchmark suite across
+processes — can snapshot a :class:`RoadNetwork` to one ``.npz`` file
+and reload it in milliseconds.  The snapshot embeds graph, categories,
+and coordinates via :mod:`repro.graph.io`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datasets.registry import RoadNetwork, road_network
+from repro.exceptions import DatasetError
+from repro.graph.io import load_npz, save_npz
+
+__all__ = ["save_dataset", "load_dataset", "cached_road_network"]
+
+
+def save_dataset(network: RoadNetwork, path: str | Path) -> None:
+    """Snapshot a dataset (graph + categories + coordinates)."""
+    save_npz(
+        path,
+        network.graph,
+        categories=network.categories,
+        coordinates=network.coordinates,
+    )
+
+
+def load_dataset(path: str | Path, name: str = "") -> RoadNetwork:
+    """Load a dataset snapshot written by :func:`save_dataset`.
+
+    Raises
+    ------
+    DatasetError
+        If the snapshot lacks categories or coordinates (i.e. was not
+        written by :func:`save_dataset`).
+    """
+    graph, categories, coordinates = load_npz(path)
+    if categories is None or coordinates is None:
+        raise DatasetError(
+            f"{path} is not a dataset snapshot (missing categories/coordinates)"
+        )
+    return RoadNetwork(
+        name=name or Path(path).stem,
+        graph=graph,
+        categories=categories,
+        coordinates=coordinates,
+    )
+
+
+def cached_road_network(
+    name: str, cache_dir: str | Path, seed: int = 0
+) -> RoadNetwork:
+    """Registry dataset backed by an on-disk cache.
+
+    First call generates and snapshots; later calls (including from
+    other processes) load the snapshot.
+    """
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{name.upper()}-seed{seed}.npz"
+    if path.exists():
+        return load_dataset(path, name=name.upper())
+    network = road_network(name, seed=seed)
+    save_dataset(network, path)
+    return network

@@ -1,0 +1,97 @@
+"""Query-workload generation (Section 7, "Queries").
+
+The paper stratifies sources by their distance to the destination
+category: sort all nodes by shortest-path length to ``V_T``,
+partition into five equal groups, and sample 100 sources per group —
+``Q1`` holds the closest sources, ``Q5`` the farthest.  ``Q3`` is the
+default workload.  The distance of every node *to* a node set is one
+multi-source Dijkstra on the reverse graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import QueryError
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph, ReversedView
+from repro.pathing.dijkstra import multi_source_distances
+
+__all__ = ["QueryWorkload", "stratified_sources", "distances_to_targets"]
+
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """Distance-stratified source groups for one destination set.
+
+    ``groups[i]`` is the paper's ``Q_{i+1}``; each is a tuple of
+    source node ids.
+    """
+
+    category: str
+    destinations: tuple[int, ...]
+    groups: tuple[tuple[int, ...], ...]
+
+    def group(self, label: str | int) -> tuple[int, ...]:
+        """Fetch a group by paper label (``"Q3"``) or 1-based index."""
+        if isinstance(label, str):
+            if not label.upper().startswith("Q"):
+                raise QueryError(f"bad query-group label {label!r}")
+            index = int(label[1:])
+        else:
+            index = label
+        if not 1 <= index <= len(self.groups):
+            raise QueryError(f"query group {label!r} out of range")
+        return self.groups[index - 1]
+
+
+def distances_to_targets(graph: DiGraph, targets: Sequence[int]) -> list[float]:
+    """Shortest distance from every node *to* the nearest target."""
+    return multi_source_distances(ReversedView(graph), targets)
+
+
+def stratified_sources(
+    graph: DiGraph,
+    categories: CategoryIndex,
+    category: str,
+    num_groups: int = 5,
+    per_group: int = 100,
+    seed: int = 0,
+) -> QueryWorkload:
+    """Build the paper's ``Q1..Q5`` source groups for a category.
+
+    Nodes unreachable from the category (on the reverse graph) are
+    excluded; the rest are sorted by distance, split into
+    ``num_groups`` equal slices, and ``per_group`` sources are sampled
+    uniformly from each slice (all of a slice when it is smaller).
+    """
+    destinations = categories.nodes_of(category)
+    dist = distances_to_targets(graph, destinations)
+    reachable = sorted(
+        (node for node in range(graph.n) if dist[node] < INF),
+        key=lambda node: (dist[node], node),
+    )
+    if len(reachable) < num_groups:
+        raise QueryError(
+            f"only {len(reachable)} nodes can reach category {category!r}; "
+            f"cannot form {num_groups} groups"
+        )
+    rng = random.Random(seed)
+    size = len(reachable) // num_groups
+    groups: list[tuple[int, ...]] = []
+    for i in range(num_groups):
+        lo = i * size
+        hi = len(reachable) if i == num_groups - 1 else (i + 1) * size
+        slice_nodes = reachable[lo:hi]
+        if len(slice_nodes) <= per_group:
+            sample = list(slice_nodes)
+        else:
+            sample = rng.sample(slice_nodes, per_group)
+        groups.append(tuple(sample))
+    return QueryWorkload(
+        category=category, destinations=destinations, groups=tuple(groups)
+    )

@@ -1,0 +1,114 @@
+"""Named datasets — scaled analogues of the paper's Table 1.
+
+The paper's six real road networks are replaced by synthetic
+road-like graphs (see :mod:`repro.datasets.synthetic` for what is
+preserved) at ~25–40× reduced size, keeping the relative ordering
+``SJ < CAL < SF < COL < FLA < USA``:
+
+=======  ============  ===========  =================
+name     paper n       paper m      this package (grid)
+=======  ============  ===========  =================
+SJ       18,263        47,594       32 × 28
+CAL      106,337       213,964*     72 × 60
+SF       174,956       443,604      92 × 76
+COL      435,666       1,042,400    140 × 110
+FLA      1,070,376     2,687,902    210 × 170
+USA      6,262,104     15,119,284   400 × 300
+=======  ============  ===========  =================
+
+(*CAL's Table-1 row lists nodes/edges swapped relative to the others;
+we scale from the node count.)
+
+Every dataset carries the nested ``T1..T4`` categories; CAL
+additionally carries the 62 CAL-style categories ("Glacier", "Lake",
+"Crater", "Harbor", …) that Figures 6–8 query.  Datasets are cached
+per (name, seed) — they are deterministic in both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.datasets.poi import cal_style_categories, nested_categories
+from repro.datasets.synthetic import grid_road_network
+from repro.exceptions import DatasetError
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+
+__all__ = ["RoadNetwork", "road_network", "available_datasets", "DATASET_GRIDS"]
+
+#: Grid dimensions per dataset name (rows, cols).
+DATASET_GRIDS: dict[str, tuple[int, int]] = {
+    "SJ": (32, 28),
+    "CAL": (72, 60),
+    "SF": (92, 76),
+    "COL": (140, 110),
+    "FLA": (210, 170),
+    "USA": (400, 300),
+}
+
+#: Paper sizes, for Table-1 style reporting.
+PAPER_SIZES: dict[str, tuple[int, int]] = {
+    "SJ": (18_263, 47_594),
+    "CAL": (106_337, 213_964),
+    "SF": (174_956, 443_604),
+    "COL": (435_666, 1_042_400),
+    "FLA": (1_070_376, 2_687_902),
+    "USA": (6_262_104, 15_119_284),
+}
+
+
+@dataclass(frozen=True)
+class RoadNetwork:
+    """A named dataset: graph + POI categories + node coordinates."""
+
+    name: str
+    graph: DiGraph
+    categories: CategoryIndex
+    coordinates: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        """Number of directed edges."""
+        return self.graph.m
+
+
+def available_datasets() -> tuple[str, ...]:
+    """The dataset names accepted by :func:`road_network`."""
+    return tuple(DATASET_GRIDS)
+
+
+def road_network(name: str, seed: int = 0) -> RoadNetwork:
+    """Build (or fetch from cache) a named dataset.
+
+    Names are case-insensitive; the cache is keyed on the canonical
+    upper-case name so ``road_network("sj") is road_network("SJ")``.
+
+    Raises
+    ------
+    DatasetError
+        For unknown names.
+    """
+    key = name.upper()
+    if key not in DATASET_GRIDS:
+        known = ", ".join(DATASET_GRIDS)
+        raise DatasetError(f"unknown dataset {name!r}; choose one of: {known}")
+    return _build_road_network(key, seed)
+
+
+@lru_cache(maxsize=None)
+def _build_road_network(key: str, seed: int) -> RoadNetwork:
+    rows, cols = DATASET_GRIDS[key]
+    graph, coords = grid_road_network(rows, cols, seed=seed)
+    categories = nested_categories(graph, seed=seed + 1)
+    if key == "CAL":
+        categories = categories.merged_with(cal_style_categories(graph, seed=seed + 2))
+    return RoadNetwork(name=key, graph=graph, categories=categories, coordinates=coords)

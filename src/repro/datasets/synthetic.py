@@ -1,0 +1,193 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on six real road networks (CAL … Western USA,
+Table 1) that are not redistributable here and — at up to 6.2M nodes
+— not traversable at paper speeds in pure Python.  These generators
+produce scaled-down *road-like* graphs preserving the structural
+properties the algorithms are sensitive to:
+
+* **planarity/locality** — edges connect geometrically nearby nodes,
+  so search frontiers stay small and landmark bounds are informative;
+* **long diameter and near-uniform low degree** (≈ 2–4 out-edges,
+  like real road junctions);
+* **distance-metric weights** — each edge weight is the Euclidean
+  length of the (jittered) segment, so the triangle inequality holds
+  the way it does for real road lengths;
+* **bidirectional edges**, matching the paper's setup.
+
+Two families are provided: a perturbed grid (the workhorse — degree
+distribution and diameter closest to real road networks) and a
+radial ring-and-spoke network (used for variety in tests).
+Generated graphs are restricted to their largest strongly connected
+component so every query is satisfiable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["grid_road_network", "radial_road_network", "largest_connected_component"]
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    removal_prob: float = 0.08,
+    diagonal_prob: float = 0.05,
+    jitter: float = 0.25,
+) -> tuple[DiGraph, np.ndarray]:
+    """A jittered grid with random street removals and a few diagonals.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; the result has at most ``rows * cols`` nodes
+        (restricted to the largest connected component).
+    removal_prob:
+        Fraction of grid edges deleted (dead ends, rivers, parks).
+    diagonal_prob:
+        Fraction of grid cells that gain one diagonal shortcut.
+    jitter:
+        Uniform positional noise (± ``jitter``) applied per node
+        before measuring edge lengths.
+
+    Returns
+    -------
+    ``(graph, coordinates)`` — the frozen graph (bidirectional,
+    Euclidean weights) and an ``(n, 2)`` coordinate array.
+    """
+    if rows < 2 or cols < 2:
+        raise DatasetError(f"grid must be at least 2x2, got {rows}x{cols}")
+    rng = random.Random(seed)
+    n = rows * cols
+    coords = np.empty((n, 2), dtype=np.float64)
+    for r in range(rows):
+        base = r * cols
+        for c in range(cols):
+            coords[base + c, 0] = c + rng.uniform(-jitter, jitter)
+            coords[base + c, 1] = r + rng.uniform(-jitter, jitter)
+
+    def length(u: int, v: int) -> float:
+        dx = coords[u, 0] - coords[v, 0]
+        dy = coords[u, 1] - coords[v, 1]
+        return math.hypot(dx, dy)
+
+    edges: list[tuple[int, int, float]] = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols and rng.random() >= removal_prob:
+                v = u + 1
+                edges.append((u, v, length(u, v)))
+            if r + 1 < rows and rng.random() >= removal_prob:
+                v = u + cols
+                edges.append((u, v, length(u, v)))
+            if c + 1 < cols and r + 1 < rows and rng.random() < diagonal_prob:
+                v = u + cols + 1 if rng.random() < 0.5 else u + cols
+                if v == u + cols:  # anti-diagonal: (r, c+1) -> (r+1, c)
+                    u2, v2 = u + 1, u + cols
+                    edges.append((u2, v2, length(u2, v2)))
+                else:
+                    edges.append((u, v, length(u, v)))
+
+    graph = DiGraph.from_edges(n, edges, bidirectional=True)
+    return largest_connected_component(graph, coords)
+
+
+def radial_road_network(
+    rings: int,
+    spokes: int,
+    seed: int = 0,
+    removal_prob: float = 0.05,
+) -> tuple[DiGraph, np.ndarray]:
+    """A ring-and-spoke city: concentric rings joined by radial roads.
+
+    Node 0 is the centre; ring ``i`` (1-based) holds ``spokes`` nodes
+    at radius ``i``.  Produces graphs with a clear core/periphery
+    structure, useful for exercising landmark quality away from grid
+    symmetry.
+    """
+    if rings < 1 or spokes < 3:
+        raise DatasetError(f"need rings >= 1 and spokes >= 3, got {rings}/{spokes}")
+    rng = random.Random(seed)
+    n = 1 + rings * spokes
+    coords = np.empty((n, 2), dtype=np.float64)
+    coords[0] = (0.0, 0.0)
+    for i in range(1, rings + 1):
+        for j in range(spokes):
+            angle = 2 * math.pi * (j + rng.uniform(-0.1, 0.1)) / spokes
+            radius = i + rng.uniform(-0.15, 0.15)
+            coords[1 + (i - 1) * spokes + j] = (
+                radius * math.cos(angle),
+                radius * math.sin(angle),
+            )
+
+    def node(ring: int, j: int) -> int:
+        return 1 + (ring - 1) * spokes + (j % spokes)
+
+    def length(u: int, v: int) -> float:
+        return math.hypot(coords[u, 0] - coords[v, 0], coords[u, 1] - coords[v, 1])
+
+    edges: list[tuple[int, int, float]] = []
+    for j in range(spokes):  # centre to first ring
+        v = node(1, j)
+        edges.append((0, v, length(0, v)))
+    for i in range(1, rings + 1):
+        for j in range(spokes):
+            u = node(i, j)
+            v = node(i, j + 1)  # around the ring
+            if rng.random() >= removal_prob:
+                edges.append((u, v, length(u, v)))
+            if i < rings and rng.random() >= removal_prob:  # outward spoke
+                w = node(i + 1, j)
+                edges.append((u, w, length(u, w)))
+
+    graph = DiGraph.from_edges(n, edges, bidirectional=True)
+    return largest_connected_component(graph, coords)
+
+
+def largest_connected_component(
+    graph: DiGraph, coords: np.ndarray
+) -> tuple[DiGraph, np.ndarray]:
+    """Restrict a bidirectional graph to its largest component.
+
+    Node ids are relabelled densely; coordinates are filtered to
+    match.  (For bidirectional graphs weak and strong connectivity
+    coincide, so a forward BFS suffices.)
+    """
+    n = graph.n
+    component = [-1] * n
+    sizes: list[int] = []
+    adjacency = graph.adjacency
+    for start in range(n):
+        if component[start] >= 0:
+            continue
+        label = len(sizes)
+        stack = [start]
+        component[start] = label
+        size = 0
+        while stack:
+            u = stack.pop()
+            size += 1
+            for v, _ in adjacency[u]:
+                if component[v] < 0:
+                    component[v] = label
+                    stack.append(v)
+        sizes.append(size)
+    best = max(range(len(sizes)), key=sizes.__getitem__)
+    keep = [u for u in range(n) if component[u] == best]
+    relabel = {old: new for new, old in enumerate(keep)}
+    out = DiGraph(len(keep))
+    for old in keep:
+        u = relabel[old]
+        for v_old, w in adjacency[old]:
+            if component[v_old] == best:
+                out.add_edge(u, relabel[v_old], w)
+    return out.freeze(), coords[keep]

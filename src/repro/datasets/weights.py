@@ -1,0 +1,82 @@
+"""Edge-weight variants.
+
+Section 7: an edge weight "can be any measure of the road segment,
+such as distance, travel time, travel cost"; the paper's experiments
+take distance.  These transforms re-derive the other measures from a
+distance-weighted network so the weight-agnosticism of the algorithms
+can be exercised (the landmark machinery assumes nothing but
+non-negativity and the triangle inequality over the *chosen* weights).
+
+All transforms preserve topology and return a new frozen graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["reweighted", "travel_time_weights", "unit_weights", "tolled_weights"]
+
+
+def reweighted(
+    graph: DiGraph, weight_of: Callable[[int, int, float], float]
+) -> DiGraph:
+    """Generic transform: ``weight_of(u, v, old_weight)`` per edge."""
+    out = DiGraph(graph.n)
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, weight_of(u, v, w))
+    return out.freeze()
+
+
+def travel_time_weights(
+    graph: DiGraph,
+    seed: int = 0,
+    speed_classes: Sequence[float] = (0.5, 1.0, 2.0),
+) -> DiGraph:
+    """Distance → travel time: each road gets a speed class.
+
+    The class is drawn per *undirected* road (both directions share
+    it, as both lanes of a street share a speed limit), deterministic
+    in ``seed``.  ``time = distance / speed``.
+    """
+    classes = tuple(speed_classes)
+
+    def weight_of(u: int, v: int, distance: float) -> float:
+        key = _road_key(u, v, seed)
+        speed = classes[random.Random(key).randrange(len(classes))]
+        return distance / speed
+
+    return reweighted(graph, weight_of)
+
+
+def _road_key(u: int, v: int, seed: int) -> int:
+    """Deterministic per-undirected-road integer seed."""
+    a, b = (u, v) if u <= v else (v, u)
+    return (a * 1_000_003 + b) * 1_000_003 + seed
+
+
+def unit_weights(graph: DiGraph) -> DiGraph:
+    """Every edge costs 1 — hop-count shortest paths."""
+    return reweighted(graph, lambda u, v, w: 1.0)
+
+
+def tolled_weights(
+    graph: DiGraph, toll: float, tolled_fraction: float = 0.1, seed: int = 0
+) -> DiGraph:
+    """Travel *cost*: distance plus a toll on a random road subset.
+
+    Tolls are per undirected road, deterministic in ``seed`` — the
+    "travel cost" measure the paper mentions.
+    """
+    if toll < 0:
+        raise ValueError(f"toll must be non-negative, got {toll}")
+
+    def weight_of(u: int, v: int, distance: float) -> float:
+        key = _road_key(u, v, seed) ^ 0x70_11  # distinct stream from speeds
+        if random.Random(key).random() < tolled_fraction:
+            return distance + toll
+        return distance
+
+    return reweighted(graph, weight_of)

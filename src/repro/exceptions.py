@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  The subclasses
+distinguish the three things that commonly go wrong: malformed graph
+construction, invalid queries, and dataset/IO problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is constructed or mutated inconsistently.
+
+    Examples: negative edge weight, out-of-range node id, or adding an
+    edge to a frozen graph.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a KPJ/KSP/GKPJ query is invalid for the given graph.
+
+    Examples: unknown category, ``k <= 0``, or a source node that does
+    not exist in the graph.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised by dataset loaders and generators on malformed input.
+
+    Examples: an unparsable DIMACS line, an unknown dataset name in the
+    registry, or inconsistent POI specifications.
+    """
+
+
+class LandmarkError(ReproError):
+    """Raised when a landmark index is misused.
+
+    Examples: requesting bounds from an index built for another graph or
+    asking for more landmarks than there are nodes.
+    """

@@ -1,0 +1,18 @@
+"""Graph substrate: compact digraph, categories, virtual transforms, IO."""
+
+from repro.graph.builder import BuiltGraph, GraphBuilder
+from repro.graph.categories import CategoryIndex
+from repro.graph.csr import CSRGraph, to_csr
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import QueryGraph, build_query_graph
+
+__all__ = [
+    "BuiltGraph",
+    "GraphBuilder",
+    "CategoryIndex",
+    "CSRGraph",
+    "to_csr",
+    "DiGraph",
+    "QueryGraph",
+    "build_query_graph",
+]

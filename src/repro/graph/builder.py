@@ -1,0 +1,106 @@
+"""Incremental graph builder with symbolic node names.
+
+Road-network files and ad-hoc examples often refer to nodes by external
+identifiers (strings, sparse integers, coordinates).  The algorithms in
+this package require dense integer ids, so :class:`GraphBuilder` maps
+arbitrary hashable labels onto ``0..n-1`` while edges are streamed in,
+then produces a frozen :class:`~repro.graph.digraph.DiGraph` plus the
+label table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphBuilder", "BuiltGraph"]
+
+
+@dataclass
+class BuiltGraph:
+    """The output of :meth:`GraphBuilder.build`.
+
+    Attributes
+    ----------
+    graph:
+        The frozen :class:`DiGraph`.
+    labels:
+        ``labels[i]`` is the external label of internal node ``i``.
+    index:
+        Reverse mapping from external label to internal id.
+    """
+
+    graph: DiGraph
+    labels: list[Hashable]
+    index: dict[Hashable, int]
+
+    def node_id(self, label: Hashable) -> int:
+        """Internal id of an external label.
+
+        Raises
+        ------
+        GraphError
+            If the label was never seen by the builder.
+        """
+        try:
+            return self.index[label]
+        except KeyError:
+            raise GraphError(f"unknown node label {label!r}") from None
+
+
+@dataclass
+class GraphBuilder:
+    """Accumulates labelled edges, then builds a dense frozen graph.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> b.add_edge("a", "b", 1.0)
+    >>> b.add_edge("b", "c", 2.0)
+    >>> built = b.build()
+    >>> built.graph.m
+    2
+    """
+
+    bidirectional: bool = False
+    _edges: list[tuple[int, int, float]] = field(default_factory=list)
+    _index: dict[Hashable, int] = field(default_factory=dict)
+    _labels: list[Hashable] = field(default_factory=list)
+
+    def node(self, label: Hashable) -> int:
+        """Intern a label, returning its dense id (creating it if new)."""
+        node_id = self._index.get(label)
+        if node_id is None:
+            node_id = len(self._labels)
+            self._index[label] = node_id
+            self._labels.append(label)
+        return node_id
+
+    def add_edge(self, u: Hashable, v: Hashable, weight: float) -> None:
+        """Add edge ``u -> v`` (labels are interned automatically)."""
+        self._edges.append((self.node(u), self.node(v), float(weight)))
+
+    def add_node(self, label: Hashable) -> int:
+        """Ensure an isolated node exists; returns its id."""
+        return self.node(label)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct labels seen so far."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges added so far."""
+        return len(self._edges)
+
+    def build(self) -> BuiltGraph:
+        """Produce the frozen graph and the label tables."""
+        g = DiGraph(len(self._labels))
+        add = g.add_bidirectional_edge if self.bidirectional else g.add_edge
+        for u, v, w in self._edges:
+            add(u, v, w)
+        return BuiltGraph(graph=g.freeze(), labels=list(self._labels), index=dict(self._index))

@@ -1,0 +1,119 @@
+"""Category (POI) inverted index.
+
+The paper assumes "an inverted index is offline built on the categories
+of nodes such that ``V_T`` can be efficiently retrieved online"
+(Section 2).  :class:`CategoryIndex` is that index: it maps category
+names to sorted node-id tuples and supports membership tests, multi-
+category union, and iteration.  A node may carry any number of
+categories (a road junction can host both a "Hotel" and a "Fuel" POI).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import QueryError
+
+__all__ = ["CategoryIndex"]
+
+
+class CategoryIndex:
+    """Inverted index from category name to the set of member nodes.
+
+    Parameters
+    ----------
+    members:
+        Mapping from category name to an iterable of node ids.
+
+    Notes
+    -----
+    Node lists are deduplicated and stored sorted, so ``nodes_of`` is a
+    stable tuple suitable for deterministic iteration, and ``frozenset``
+    views are cached for O(1) membership tests during query processing.
+    """
+
+    def __init__(self, members: Mapping[str, Iterable[int]]) -> None:
+        self._members: dict[str, tuple[int, ...]] = {
+            name: tuple(sorted(set(nodes))) for name, nodes in members.items()
+        }
+        self._sets: dict[str, frozenset[int]] = {
+            name: frozenset(nodes) for name, nodes in self._members.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def nodes_of(self, category: str) -> tuple[int, ...]:
+        """Sorted node ids of a category.
+
+        Raises
+        ------
+        QueryError
+            If the category is unknown or empty.
+        """
+        try:
+            nodes = self._members[category]
+        except KeyError:
+            raise QueryError(f"unknown category {category!r}") from None
+        if not nodes:
+            raise QueryError(f"category {category!r} has no member nodes")
+        return nodes
+
+    def node_set(self, category: str) -> frozenset[int]:
+        """Membership set of a category (same validation as :meth:`nodes_of`)."""
+        self.nodes_of(category)
+        return self._sets[category]
+
+    def union(self, categories: Sequence[str]) -> tuple[int, ...]:
+        """Sorted union of several categories' nodes."""
+        merged: set[int] = set()
+        for category in categories:
+            merged.update(self.nodes_of(category))
+        return tuple(sorted(merged))
+
+    def categories_of(self, node: int) -> tuple[str, ...]:
+        """All categories that contain ``node`` (sorted by name)."""
+        return tuple(
+            sorted(name for name, nodes in self._sets.items() if node in nodes)
+        )
+
+    def has_category(self, category: str) -> bool:
+        """Whether the category exists (possibly empty)."""
+        return category in self._members
+
+    def size(self, category: str) -> int:
+        """Number of nodes in a category."""
+        return len(self.nodes_of(category))
+
+    def __contains__(self, category: str) -> bool:
+        return category in self._members
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CategoryIndex({len(self._members)} categories)"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_node_labels(cls, labels: Mapping[int, Iterable[str]]) -> "CategoryIndex":
+        """Build from a per-node label mapping ``{node: [categories...]}``."""
+        members: dict[str, list[int]] = {}
+        for node, cats in labels.items():
+            for cat in cats:
+                members.setdefault(cat, []).append(node)
+        return cls(members)
+
+    def merged_with(self, other: "CategoryIndex") -> "CategoryIndex":
+        """A new index containing the categories of both (union per name)."""
+        members: dict[str, list[int]] = {
+            name: list(nodes) for name, nodes in self._members.items()
+        }
+        for name in other._members:
+            members.setdefault(name, []).extend(other._members[name])
+        return CategoryIndex(members)

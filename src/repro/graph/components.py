@@ -1,0 +1,115 @@
+"""Connectivity: strongly connected components and subgraph extraction.
+
+The synthetic generators restrict their output to one component so
+every query is satisfiable; for *bidirectional* road networks a BFS
+suffices, but imported graphs (DIMACS files are directed; one-way
+streets exist) need real SCCs.  :func:`strongly_connected_components`
+is an iterative Tarjan (no recursion limit issues on long path
+graphs); :func:`largest_strongly_connected_subgraph` relabels the
+biggest SCC densely, the normal preprocessing step before indexing an
+imported network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "strongly_connected_components",
+    "largest_strongly_connected_subgraph",
+    "is_strongly_connected",
+]
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list[int]]:
+    """Tarjan's SCC algorithm, iteratively.
+
+    Returns the components as node-id lists (each sorted), in reverse
+    topological order of the condensation (Tarjan's natural output
+    order).
+    """
+    n = graph.n
+    adjacency = graph.adjacency
+    index_of = [-1] * n  # discovery index, -1 = unvisited
+    low = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Each work item: (node, iterator position into its adjacency).
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_position = work[-1]
+            if edge_position == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            edges = adjacency[node]
+            while edge_position < len(edges):
+                successor = edges[edge_position][0]
+                edge_position += 1
+                if index_of[successor] == -1:
+                    work[-1] = (node, edge_position)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    if index_of[successor] < low[node]:
+                        low[node] = index_of[successor]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+            if low[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                component.sort()
+                components.append(component)
+    return components
+
+
+def is_strongly_connected(graph: DiGraph) -> bool:
+    """Whether the whole graph is one SCC (vacuously true when empty)."""
+    if graph.n == 0:
+        return True
+    return len(strongly_connected_components(graph)) == 1
+
+
+def largest_strongly_connected_subgraph(
+    graph: DiGraph, coordinates: np.ndarray | None = None
+) -> tuple[DiGraph, np.ndarray | None, list[int]]:
+    """Restrict to the largest SCC with dense relabelling.
+
+    Returns ``(subgraph, coordinates_or_None, kept_nodes)`` where
+    ``kept_nodes[i]`` is the original id of new node ``i`` (sorted, so
+    relabelling is order-preserving).
+    """
+    components = strongly_connected_components(graph)
+    if not components:
+        return DiGraph(0).freeze(), coordinates, []
+    keep = max(components, key=len)
+    relabel = {old: new for new, old in enumerate(keep)}
+    member = set(keep)
+    out = DiGraph(len(keep))
+    for old in keep:
+        for v, w in graph.out_edges(old):
+            if v in member:
+                out.add_edge(relabel[old], relabel[v], w)
+    kept_coords = coordinates[keep] if coordinates is not None else None
+    return out.freeze(), kept_coords, keep

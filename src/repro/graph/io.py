@@ -1,0 +1,260 @@
+"""Graph and POI file formats.
+
+Supports the two formats the paper's datasets ship in, plus a fast
+binary snapshot:
+
+* **DIMACS challenge-9** ``.gr`` (``a u v w`` arc lines, 1-based ids)
+  and ``.co`` coordinate files — the COL/FLA/USA networks.
+* **Edge-list** text (``u v w`` per line, 0-based) with an optional
+  POI file (``node category`` per line) — the CAL/SJ/SF style files.
+* **``.npz`` snapshots** of a graph + categories, for quick reloads of
+  generated datasets.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "load_dimacs_gr",
+    "load_dimacs_coordinates",
+    "load_edge_list",
+    "load_poi_file",
+    "save_npz",
+    "load_npz",
+    "write_dimacs_gr",
+    "write_edge_list",
+]
+
+
+def _open_text(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+# ----------------------------------------------------------------------
+# DIMACS
+# ----------------------------------------------------------------------
+def load_dimacs_gr(source: str | Path | TextIO) -> DiGraph:
+    """Parse a DIMACS challenge-9 ``.gr`` file into a frozen graph.
+
+    Lines: ``c ...`` comments, one ``p sp <n> <m>`` problem line, and
+    ``a <u> <v> <w>`` arc lines with 1-based node ids.
+    """
+    fh, close = _open_text(source)
+    try:
+        graph: DiGraph | None = None
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            fields = line.split()
+            if fields[0] == "p":
+                if len(fields) != 4 or fields[1] != "sp":
+                    raise DatasetError(f"line {lineno}: bad problem line {line!r}")
+                graph = DiGraph(int(fields[2]))
+            elif fields[0] == "a":
+                if graph is None:
+                    raise DatasetError(f"line {lineno}: arc before problem line")
+                if len(fields) != 4:
+                    raise DatasetError(f"line {lineno}: bad arc line {line!r}")
+                u, v, w = int(fields[1]) - 1, int(fields[2]) - 1, float(fields[3])
+                graph.add_edge(u, v, w)
+            else:
+                raise DatasetError(f"line {lineno}: unknown record {fields[0]!r}")
+        if graph is None:
+            raise DatasetError("no problem line found")
+        return graph.freeze()
+    finally:
+        if close:
+            fh.close()
+
+
+def load_dimacs_coordinates(source: str | Path | TextIO) -> np.ndarray:
+    """Parse a DIMACS ``.co`` file into an ``(n, 2)`` float array."""
+    fh, close = _open_text(source)
+    try:
+        coords: np.ndarray | None = None
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            fields = line.split()
+            if fields[0] == "p":
+                coords = np.zeros((int(fields[-1]), 2), dtype=np.float64)
+            elif fields[0] == "v":
+                if coords is None:
+                    raise DatasetError(f"line {lineno}: vertex before problem line")
+                idx = int(fields[1]) - 1
+                coords[idx, 0] = float(fields[2])
+                coords[idx, 1] = float(fields[3])
+            else:
+                raise DatasetError(f"line {lineno}: unknown record {fields[0]!r}")
+        if coords is None:
+            raise DatasetError("no problem line found")
+        return coords
+    finally:
+        if close:
+            fh.close()
+
+
+def write_dimacs_gr(graph: DiGraph, destination: str | Path | TextIO) -> None:
+    """Write a graph in DIMACS ``.gr`` format (weights rounded to int)."""
+    fh: TextIO
+    if isinstance(destination, (str, Path)):
+        fh = open(destination, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = destination
+        close = False
+    try:
+        fh.write(f"p sp {graph.n} {graph.m}\n")
+        for u, v, w in graph.edges():
+            fh.write(f"a {u + 1} {v + 1} {w:g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+# ----------------------------------------------------------------------
+# Edge list / POI
+# ----------------------------------------------------------------------
+def load_edge_list(
+    source: str | Path | TextIO, bidirectional: bool = False
+) -> DiGraph:
+    """Parse ``u v w`` lines (0-based ids) into a frozen graph.
+
+    The node count is inferred as ``1 + max id``.
+    """
+    fh, close = _open_text(source)
+    try:
+        edges: list[tuple[int, int, float]] = []
+        max_node = -1
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise DatasetError(f"line {lineno}: bad edge line {line!r}")
+            u, v = int(fields[0]), int(fields[1])
+            w = float(fields[2]) if len(fields) > 2 else 1.0
+            edges.append((u, v, w))
+            if u > max_node:
+                max_node = u
+            if v > max_node:
+                max_node = v
+        if max_node < 0:
+            raise DatasetError("edge list is empty")
+        return DiGraph.from_edges(max_node + 1, edges, bidirectional=bidirectional)
+    finally:
+        if close:
+            fh.close()
+
+
+def write_edge_list(graph: DiGraph, destination: str | Path | TextIO) -> None:
+    """Write a graph as ``u v w`` lines (0-based ids)."""
+    if isinstance(destination, (str, Path)):
+        fh = open(destination, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = destination
+        close = False
+    try:
+        for u, v, w in graph.edges():
+            fh.write(f"{u} {v} {w:g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def load_poi_file(source: str | Path | TextIO) -> CategoryIndex:
+    """Parse ``node category`` lines into a :class:`CategoryIndex`."""
+    fh, close = _open_text(source)
+    try:
+        members: dict[str, list[int]] = {}
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split(maxsplit=1)
+            if len(fields) != 2:
+                raise DatasetError(f"line {lineno}: bad POI line {line!r}")
+            members.setdefault(fields[1], []).append(int(fields[0]))
+        return CategoryIndex(members)
+    finally:
+        if close:
+            fh.close()
+
+
+# ----------------------------------------------------------------------
+# npz snapshots
+# ----------------------------------------------------------------------
+def save_npz(
+    path: str | Path,
+    graph: DiGraph,
+    categories: CategoryIndex | None = None,
+    coordinates: np.ndarray | None = None,
+) -> None:
+    """Save a graph (plus optional POIs/coordinates) to an ``.npz`` file."""
+    heads = np.empty(graph.m, dtype=np.int64)
+    tails = np.empty(graph.m, dtype=np.int64)
+    weights = np.empty(graph.m, dtype=np.float64)
+    for i, (u, v, w) in enumerate(graph.edges()):
+        tails[i], heads[i], weights[i] = u, v, w
+    payload: dict[str, np.ndarray] = {
+        "n": np.asarray([graph.n], dtype=np.int64),
+        "tails": tails,
+        "heads": heads,
+        "weights": weights,
+    }
+    if coordinates is not None:
+        payload["coordinates"] = np.asarray(coordinates, dtype=np.float64)
+    if categories is not None:
+        names: list[str] = []
+        flat: list[int] = []
+        offsets = [0]
+        for name in categories:
+            nodes = categories.nodes_of(name)
+            names.append(name)
+            flat.extend(nodes)
+            offsets.append(len(flat))
+        payload["category_names"] = np.asarray(names, dtype=np.str_)
+        payload["category_nodes"] = np.asarray(flat, dtype=np.int64)
+        payload["category_offsets"] = np.asarray(offsets, dtype=np.int64)
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(
+    path: str | Path,
+) -> tuple[DiGraph, CategoryIndex | None, np.ndarray | None]:
+    """Load a snapshot written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        n = int(data["n"][0])
+        graph = DiGraph(n)
+        for u, v, w in zip(data["tails"], data["heads"], data["weights"]):
+            graph.add_edge(int(u), int(v), float(w))
+        graph.freeze()
+        categories: CategoryIndex | None = None
+        if "category_names" in data:
+            names = data["category_names"]
+            nodes = data["category_nodes"]
+            offsets = data["category_offsets"]
+            members = {
+                str(names[i]): [int(x) for x in nodes[offsets[i] : offsets[i + 1]]]
+                for i in range(len(names))
+            }
+            categories = CategoryIndex(members)
+        coordinates = (
+            np.array(data["coordinates"]) if "coordinates" in data else None
+        )
+    return graph, categories, coordinates

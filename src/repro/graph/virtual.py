@@ -1,0 +1,150 @@
+"""Virtual-node query transform (the paper's ``G_Q``).
+
+Section 3 of the paper reduces a KPJ query to a KSP query by adding a
+virtual destination node ``t`` and a zero-weight edge ``v -> t`` for
+every destination ``v in V_T``; Section 6 symmetrically adds a virtual
+source for GKPJ.  Every algorithm in this package runs on the
+transformed graph, which keeps subspace bookkeeping uniform: banning
+the edge ``(v, t)`` expresses "the path may pass *through* destination
+``v`` but must not terminate there", which is exactly how a path
+through one destination is allowed to continue to another.
+
+:class:`QueryGraph` bundles the transformed graph together with the id
+bookkeeping needed to strip virtual nodes off reported paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["QueryGraph", "build_query_graph"]
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """A graph transformed for one KPJ/GKPJ query.
+
+    Attributes
+    ----------
+    base:
+        The original graph ``G``.
+    graph:
+        The transformed graph ``G_Q`` (base plus virtual nodes).
+    source:
+        Search source in ``graph`` — the real source for KPJ, the
+        virtual source node for GKPJ.
+    target:
+        The virtual destination node id (always ``base.n``).
+    destinations:
+        The real destination nodes ``V_T`` (sorted).
+    sources:
+        The real source nodes ``V_S`` (a single node for KPJ).
+    """
+
+    base: DiGraph
+    graph: DiGraph
+    source: int
+    target: int
+    destinations: tuple[int, ...]
+    sources: tuple[int, ...]
+
+    @property
+    def has_virtual_source(self) -> bool:
+        """Whether this is a GKPJ transform (virtual source present)."""
+        return self.source >= self.base.n
+
+    def is_virtual(self, node: int) -> bool:
+        """Whether ``node`` is one of the virtual endpoints."""
+        return node >= self.base.n
+
+    def reversed_graph(self):
+        """Zero-copy reversed view of ``graph`` (for backward searches)."""
+        from repro.graph.digraph import ReversedView
+
+        return ReversedView(self.graph)
+
+    def strip(self, path: Sequence[int]) -> tuple[int, ...]:
+        """Remove virtual endpoints from a path found in ``graph``.
+
+        The result is a path of ``base`` running from a real source to
+        a real destination.
+        """
+        start = 1 if path and self.is_virtual(path[0]) else 0
+        end = len(path) - 1 if path and self.is_virtual(path[-1]) else len(path)
+        return tuple(path[start:end])
+
+
+def build_query_graph(
+    base: DiGraph,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+) -> QueryGraph:
+    """Materialise ``G_Q`` for a query.
+
+    Parameters
+    ----------
+    base:
+        The frozen input graph ``G``.
+    sources:
+        One node for a KPJ/KSP query; several for GKPJ (a virtual
+        source is then added).
+    destinations:
+        The destination set ``V_T`` (must be non-empty).  A virtual
+        target node is always added, even for a single destination —
+        this keeps the search code identical for KSP and KPJ.
+
+    Raises
+    ------
+    QueryError
+        On empty endpoint sets or out-of-range node ids.
+    """
+    if not base.frozen:
+        raise QueryError("query graphs must be built from a frozen graph")
+    if not sources:
+        raise QueryError("query needs at least one source node")
+    if not destinations:
+        raise QueryError("query needs at least one destination node")
+    for node in (*sources, *destinations):
+        if not 0 <= node < base.n:
+            raise QueryError(f"query node {node} out of range [0, {base.n})")
+
+    dest = tuple(sorted(set(destinations)))
+    srcs = tuple(sorted(set(sources)))
+    multi_source = len(srcs) > 1
+    n = base.n
+    target = n
+
+    # The transform is an O(n) *overlay*: adjacency rows are shared
+    # with the base graph by reference; only the |V_T| destination rows
+    # (which gain the zero-weight edge to the virtual target) are
+    # copied.  Building a query graph must stay cheap — the paper's
+    # algorithms never touch the whole edge set per query.
+    rows = list(base.adjacency)
+    for v in dest:
+        rows[v] = rows[v] + [(target, 0.0)]
+    rows.append([])  # the virtual target has no outgoing edges
+    reverse_rows = list(base.reverse_adjacency())
+    reverse_rows.append([(v, 0.0) for v in dest])
+    m = base.m + len(dest)
+    if multi_source:
+        source = n + 1
+        rows.append([(v, 0.0) for v in srcs])
+        for v in srcs:
+            reverse_rows[v] = reverse_rows[v] + [(source, 0.0)]
+        reverse_rows.append([])
+        m += len(srcs)
+    else:
+        source = srcs[0]
+    gq = DiGraph.from_shared_rows(rows, m, base.max_edge_weight, reverse_rows)
+    return QueryGraph(
+        base=base,
+        graph=gq,
+        source=source,
+        target=target,
+        destinations=dest,
+        sources=srcs,
+    )

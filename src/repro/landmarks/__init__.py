@@ -1,0 +1,15 @@
+"""Landmark (ALT) lower bounds: selection strategies and the index."""
+
+from repro.landmarks.hub_labels import HubLabelIndex, exact_target_heuristic
+from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex, TargetBounds, ZeroBounds
+from repro.landmarks.selection import select_landmarks
+
+__all__ = [
+    "HubLabelIndex",
+    "exact_target_heuristic",
+    "ZERO_BOUNDS",
+    "LandmarkIndex",
+    "TargetBounds",
+    "ZeroBounds",
+    "select_landmarks",
+]

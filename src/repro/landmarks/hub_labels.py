@@ -1,0 +1,198 @@
+"""2-hop (hub) labeling — the paper's "inapplicable index" [7, 10].
+
+Section 3 argues that existing exact distance indexes — 2-hop labels
+(Cohen et al. [7]) and hub labels (Delling et al. [10]) — cannot
+accelerate KPJ: the zero-weight edges to the virtual target depend on
+the query's category, so a structure precomputed on ``G`` cannot
+answer distances in ``G_Q``.  This module implements the index via
+**pruned landmark labeling** (Akiba et al.'s pruning of the naive
+2-hop construction) so that the claim is demonstrable rather than
+rhetorical:
+
+* for **KSP** (fixed destination node) the index *does* apply — it
+  yields an exact ``δ(v, t)`` heuristic that makes A*'s exploration
+  minimal, and :func:`exact_target_heuristic` plugs it straight into
+  BestFirst;
+* for **KPJ** the per-query bound ``min_{v in V_T} δ(u, v)`` costs
+  ``O(|V_T| · label size)`` *per node probed* — the blow-up the paper
+  predicts, measurable in the A3 ablation benchmark.
+
+Labels store hubs by *rank* (processing order, most important first):
+entries are appended in increasing rank, so labels stay sorted during
+construction and distance queries are sorted-list merges throughout.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Sequence
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["HubLabelIndex", "exact_target_heuristic"]
+
+INF = float("inf")
+
+
+class HubLabelIndex:
+    """Exact 2-hop distance labels over a frozen graph.
+
+    Construction runs one pruned forward and one pruned backward
+    Dijkstra per node, in degree-descending node order (high-degree
+    road junctions make the best hubs); pruning keeps labels small on
+    road-like graphs.  Exact for every reachable pair:
+    ``query(u, v) == δ(u, v)``.
+    """
+
+    def __init__(
+        self,
+        out_labels: list[list[tuple[int, float]]],
+        in_labels: list[list[tuple[int, float]]],
+    ) -> None:
+        # out_labels[u]: (hub_rank, δ(u -> hub)); in_labels[u]:
+        # (hub_rank, δ(hub -> u)); both sorted by hub rank.
+        self._out = out_labels
+        self._in = in_labels
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: DiGraph) -> "HubLabelIndex":
+        """Pruned landmark labeling over all nodes.
+
+        Worst case ``O(n (m + n log n))`` like the naive 2-hop build,
+        but pruning makes it near-linear on road networks.  Intended
+        for the small/medium graphs of this package's experiments.
+        """
+        n = graph.n
+        order = sorted(range(n), key=lambda u: (-graph.out_degree(u), u))
+        rank = [0] * n
+        for position, node in enumerate(order):
+            rank[node] = position
+        out_labels: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        in_labels: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        adjacency = graph.adjacency
+        reverse = graph.reverse_adjacency()
+        for hub_rank, hub in enumerate(order):
+            # Forward sweep (hub -> u): prune against the current
+            # estimate merge(out[hub], in[u]); label in_labels[u].
+            _pruned_sweep(
+                hub, hub_rank, adjacency, out_labels[hub], in_labels, rank
+            )
+            # Backward sweep (u -> hub): symmetric.
+            _pruned_sweep(
+                hub, hub_rank, reverse, in_labels[hub], out_labels, rank
+            )
+        return cls(out_labels, in_labels)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Exact shortest distance ``δ(u, v)`` (``inf`` if unreachable)."""
+        if u == v:
+            return 0.0
+        return _merge(self._out[u], self._in[v])
+
+    def distance_to_set(self, u: int, targets: Sequence[int]) -> float:
+        """``min_{v in targets} δ(u, v)`` — the KPJ-style probe.
+
+        Cost ``O(|targets| * label size)``: this per-probe blow-up is
+        exactly why the paper rules 2-hop indexes out for KPJ.
+        """
+        best = INF
+        for v in targets:
+            d = self.query(u, v)
+            if d < best:
+                best = d
+        return best
+
+    def label_sizes(self) -> tuple[float, int]:
+        """(mean, max) entries per node across both label sides."""
+        sizes = [len(f) + len(b) for f, b in zip(self._out, self._in)]
+        return sum(sizes) / len(sizes), max(sizes)
+
+    @property
+    def n(self) -> int:
+        """Number of labelled nodes."""
+        return len(self._out)
+
+
+def _pruned_sweep(
+    hub: int,
+    hub_rank: int,
+    adjacency,
+    hub_side_label: list[tuple[int, float]],
+    extend_labels: list[list[tuple[int, float]]],
+    rank: list[int],
+) -> None:
+    """One pruned Dijkstra from ``hub``.
+
+    ``hub_side_label`` is the hub's own label on the side matching the
+    sweep direction (used for the pruning query); ``extend_labels``
+    gains ``(hub_rank, d)`` entries for every non-pruned node reached.
+    Reaching a more important node, or a node whose pair with the hub
+    is already covered at distance ``<= d``, stops both labeling *and*
+    expansion — paths through such nodes are covered by their labels
+    (the canonical-labeling argument of pruned landmark labeling).
+    """
+    dist: dict[int, float] = {hub: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, hub)]
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u != hub:
+            if rank[u] < hub_rank:
+                continue  # covered via the more important node itself
+            if _merge(hub_side_label, extend_labels[u]) <= d:
+                continue  # already covered by an earlier hub
+        extend_labels[u].append((hub_rank, d))
+        for v, w in adjacency[u]:
+            if v in settled:
+                continue
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+
+
+def _merge(a: list[tuple[int, float]], b: list[tuple[int, float]]) -> float:
+    """Sorted-merge distance query over two rank-keyed labels."""
+    best = INF
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        ra, da = a[i]
+        rb, db = b[j]
+        if ra == rb:
+            total = da + db
+            if total < best:
+                best = total
+            i += 1
+            j += 1
+        elif ra < rb:
+            i += 1
+        else:
+            j += 1
+    return best
+
+
+def exact_target_heuristic(index: HubLabelIndex, target: int):
+    """An exact-distance A* heuristic ``h(v) = δ(v, target)`` for KSP.
+
+    Virtual nodes (ids beyond the labelled range) resolve to 0, so the
+    callable plugs into searches over ``G_Q`` with a singleton
+    destination.  Unreachable nodes get ``inf``, pruning them outright.
+    """
+    n = index.n
+
+    def h(v: int) -> float:
+        if v >= n:
+            return 0.0
+        return index.query(v, target)
+
+    return h

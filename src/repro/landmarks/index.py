@@ -1,0 +1,229 @@
+"""Landmark (ALT) lower-bound index.
+
+Offline, the index stores one single-source distance array per
+landmark ``w`` — ``δ(w, u)`` for every node ``u`` — built in
+``O(|L| (m + n log n))`` time and ``O(|L| n)`` space exactly as the
+paper specifies (Section 4.2, "Remarks & Time Complexity").
+
+Online it answers three kinds of lower bounds, all derived from the
+triangle inequality ``δ(w, u) + δ(u, v) >= δ(w, v)``:
+
+* ``lb(u, v)      = max_w { δ(w, v) - δ(w, u) }``        (pairwise)
+* ``lb(u, V_T)``  via **Eq. (1)**: ``min_{v in V_T} lb(u, v)`` —
+  tight but ``O(|L| |V_T|)`` per evaluation;
+* ``lb(u, V_T)``  via **Eq. (2)**: ``max_w { min_{v} δ(w, v) - δ(w, u) }``
+  — the paper's choice: after one ``O(|L| |V_T|)`` pass per query it
+  costs ``O(|L|)`` per node, and we vectorise that over *all* nodes at
+  once with numpy.
+
+Disconnected pairs are handled conservatively: a landmark that cannot
+reach ``u`` contributes no information (``-inf``), and a bound of
+``+inf`` is produced only when it is provably correct (the landmark
+reaches ``u`` but not the targets).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import LandmarkError
+from repro.graph.digraph import DiGraph
+from repro.landmarks.selection import select_landmarks
+from repro.pathing.dijkstra import single_source_distances
+
+__all__ = ["LandmarkIndex", "TargetBounds", "ZERO_BOUNDS", "ZeroBounds"]
+
+INF = float("inf")
+
+
+class TargetBounds:
+    """Per-query vector of lower bounds ``lb(u, V_T)`` for all ``u``.
+
+    Callable: ``bounds(u)`` returns the bound for node ``u`` and ``0``
+    for any virtual node (ids ``>= n``), so instances plug directly
+    into the A* kernels as heuristics on the transformed graph ``G_Q``.
+    """
+
+    __slots__ = ("values", "_n")
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = values
+        self._n = len(values)
+
+    def __call__(self, u: int) -> float:
+        if u >= self._n:
+            return 0.0
+        return self.values[u]
+
+
+class ZeroBounds:
+    """The trivial all-zero bound — the "no landmark" (NL) variant.
+
+    With it, every A* in the package degenerates to Dijkstra, exactly
+    as Section 6 of the paper prescribes for graphs without landmarks.
+    """
+
+    def __call__(self, u: int) -> float:
+        return 0.0
+
+
+ZERO_BOUNDS = ZeroBounds()
+
+
+class LandmarkIndex:
+    """Precomputed from-landmark distances and the bounds they induce."""
+
+    def __init__(self, graph: DiGraph, landmarks: Sequence[int], dist: np.ndarray) -> None:
+        self.graph = graph
+        self.landmarks = tuple(landmarks)
+        self._dist = dist  # shape (|L|, n); δ(landmark_i, u)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        num_landmarks: int = 16,
+        strategy: str = "farthest",
+        seed: int = 0,
+    ) -> "LandmarkIndex":
+        """Select landmarks and run one Dijkstra per landmark.
+
+        ``num_landmarks=16`` is the paper's default (Fig. 6(a) shows it
+        as the sweet spot on CAL).
+        """
+        landmarks = select_landmarks(graph, num_landmarks, strategy, seed)
+        dist = np.empty((len(landmarks), graph.n), dtype=np.float64)
+        for i, w in enumerate(landmarks):
+            dist[i, :] = single_source_distances(graph, w)
+        return cls(graph, landmarks, dist)
+
+    @property
+    def size(self) -> int:
+        """Number of landmarks ``|L|``."""
+        return len(self.landmarks)
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def distance_bound(self, u: int, v: int) -> float:
+        """Pairwise lower bound ``lb(u, v) <= δ(u, v)``."""
+        du = self._dist[:, u]
+        dv = self._dist[:, v]
+        finite = np.isfinite(du)
+        if not finite.any():
+            return 0.0
+        diff = dv[finite] - du[finite]
+        best = float(np.max(diff))
+        if best < 0.0:
+            return 0.0
+        return best
+
+    def to_target_bounds(self, targets: Sequence[int]) -> TargetBounds:
+        """Eq. (2): the vector ``lb(u, V_T)`` for every node at once.
+
+        One ``O(|L| |V_T|)`` reduction computes each landmark's
+        distance to the virtual target (``min_{v in V_T} δ(w, v)``),
+        then a vectorised ``O(|L| n)`` pass produces the whole bound
+        vector.  This is the per-query initialisation the paper
+        describes at the start of Section 4.2's remarks.
+        """
+        if not targets:
+            raise LandmarkError("target set must be non-empty")
+        dmin = self._dist[:, list(targets)].min(axis=1)  # δ(w, t) per landmark
+        with np.errstate(invalid="ignore"):  # inf - inf -> nan, masked below
+            diff = dmin[:, None] - self._dist
+        # A landmark that cannot reach u gives no information on δ(u, ·).
+        diff[np.isinf(self._dist)] = -INF
+        diff[np.isnan(diff)] = -INF
+        bounds = diff.max(axis=0)
+        bounds[np.isneginf(bounds)] = 0.0
+        np.maximum(bounds, 0.0, out=bounds)
+        return TargetBounds(bounds)
+
+    def to_target_bound_eq1(self, u: int, targets: Sequence[int]) -> float:
+        """Eq. (1): ``min_{v in V_T} max_w { δ(w, v) - δ(w, u) }``.
+
+        Tighter than Eq. (2) but ``O(|L| |V_T|)`` per call — kept for
+        the ablation benchmark comparing the two bounds.
+        """
+        if not targets:
+            raise LandmarkError("target set must be non-empty")
+        du = self._dist[:, u]
+        finite = np.isfinite(du)
+        if not finite.any():
+            return 0.0
+        with np.errstate(invalid="ignore"):
+            sub = self._dist[np.ix_(finite, list(targets))] - du[finite, None]
+        sub[np.isnan(sub)] = -INF
+        per_target = sub.max(axis=0)  # lb(u, v) for each target v
+        bound = float(per_target.min())
+        if bound < 0.0 or np.isneginf(bound):
+            return 0.0
+        return bound
+
+    def from_source_bounds(self, sources: Sequence[int]) -> TargetBounds:
+        """Vector of lower bounds ``lb(V_S, u) <= min_s δ(s, u)``.
+
+        Used by the *backward* searches (Alg. 6's priority key and the
+        reverse-orientation ``IterBound-SPT_I``), which need to bound
+        the distance *from* the source side *to* an explored node.
+        Derivation: ``δ(w, u) <= δ(w, s) + δ(s, u)`` gives
+        ``min_s δ(s, u) >= δ(w, u) - max_s δ(w, s)``.
+        """
+        if not sources:
+            raise LandmarkError("source set must be non-empty")
+        dmax = self._dist[:, list(sources)].max(axis=1)
+        with np.errstate(invalid="ignore"):  # inf - inf -> nan, masked below
+            diff = self._dist - dmax[:, None]
+        diff[np.isinf(dmax)[:, None] & np.isinf(self._dist)] = -INF
+        diff[np.isnan(diff)] = -INF
+        bounds = diff.max(axis=0)
+        bounds[np.isneginf(bounds)] = 0.0
+        np.maximum(bounds, 0.0, out=bounds)
+        return TargetBounds(bounds)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the index (landmark ids + distance matrix) to ``.npz``.
+
+        The offline landmark build is the expensive step on large
+        graphs — ``|L|`` full Dijkstra runs — so production deployments
+        build once and reload per process.
+        """
+        np.savez_compressed(
+            path,
+            landmarks=np.asarray(self.landmarks, dtype=np.int64),
+            dist=self._dist,
+            n=np.asarray([self.graph.n], dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path, graph: DiGraph) -> "LandmarkIndex":
+        """Load an index saved by :meth:`save` for the *same* graph.
+
+        Raises
+        ------
+        LandmarkError
+            If the snapshot's node count does not match ``graph`` —
+            bounds from a different graph would be silently wrong.
+        """
+        with np.load(path, allow_pickle=False) as data:
+            n = int(data["n"][0])
+            if n != graph.n:
+                raise LandmarkError(
+                    f"index snapshot is for a graph with {n} nodes, "
+                    f"got one with {graph.n}"
+                )
+            landmarks = tuple(int(x) for x in data["landmarks"])
+            dist = np.array(data["dist"])
+        return cls(graph, landmarks, dist)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LandmarkIndex(|L|={self.size}, n={self.graph.n})"

@@ -1,0 +1,37 @@
+"""Shortest-path kernels: heaps, Dijkstra, A*, shortest-path trees."""
+
+from repro.pathing.astar import astar_path, bounded_astar_path
+from repro.pathing.bidirectional import (
+    bidirectional_distance,
+    bidirectional_shortest_path,
+)
+from repro.pathing.dijkstra import (
+    constrained_shortest_path,
+    multi_source_distances,
+    shortest_path,
+    single_source_distances,
+)
+from repro.pathing.heap import AddressableHeap, LazyHeap
+from repro.pathing.spt import (
+    PartialSPT,
+    ShortestPathTree,
+    build_partial_spt,
+    build_spt_to_target,
+)
+
+__all__ = [
+    "astar_path",
+    "bounded_astar_path",
+    "bidirectional_distance",
+    "bidirectional_shortest_path",
+    "constrained_shortest_path",
+    "multi_source_distances",
+    "shortest_path",
+    "single_source_distances",
+    "AddressableHeap",
+    "LazyHeap",
+    "PartialSPT",
+    "ShortestPathTree",
+    "build_partial_spt",
+    "build_spt_to_target",
+]

@@ -1,0 +1,214 @@
+"""Priority queues used by the search algorithms.
+
+Two implementations:
+
+* :class:`LazyHeap` — a plain binary heap with *lazy deletion*: stale
+  entries are skipped on pop.  This is the fastest decrease-key
+  strategy in CPython for Dijkstra/A* style workloads and is what the
+  search kernels use.
+* :class:`AddressableHeap` — a binary heap with an explicit position
+  index supporting true ``decrease_key`` and ``remove``.  The subspace
+  priority queue of the best-first algorithms uses it, because those
+  entries are re-keyed (a subspace is re-inserted with a tightened
+  bound) and the paper's analysis counts each subspace at most twice.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Generic, Hashable, TypeVar
+
+__all__ = ["LazyHeap", "AddressableHeap"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LazyHeap:
+    """Binary min-heap of ``(priority, item)`` with lazy decrease-key.
+
+    ``push`` may insert the same item several times with different
+    priorities; ``pop`` returns each item at most once, at its smallest
+    priority, by consulting a ``settled`` set maintained by the caller
+    — or, with :meth:`pop_unique`, an internal seen-set.
+    """
+
+    __slots__ = ("_heap", "_seen")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, Any]] = []
+        self._seen: set[Any] = set()
+
+    def push(self, priority: float, item: Any) -> None:
+        """Insert ``item`` with the given priority (duplicates allowed)."""
+        heappush(self._heap, (priority, item))
+
+    def pop(self) -> tuple[float, Any]:
+        """Pop the smallest entry, including stale duplicates."""
+        return heappop(self._heap)
+
+    def pop_unique(self) -> tuple[float, Any] | None:
+        """Pop the smallest entry whose item has not been popped before.
+
+        Returns ``None`` when only stale entries remain.
+        """
+        heap = self._heap
+        seen = self._seen
+        while heap:
+            priority, item = heappop(heap)
+            if item not in seen:
+                seen.add(item)
+                return priority, item
+        return None
+
+    def peek(self) -> tuple[float, Any] | None:
+        """Smallest entry without removing it (may be stale)."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class AddressableHeap(Generic[K]):
+    """Binary min-heap with position tracking per key.
+
+    Supports ``push`` (insert or update), ``decrease_key``, ``remove``
+    and ``pop``; every operation is ``O(log n)``.  Keys must be
+    hashable and unique within the heap.
+    """
+
+    __slots__ = ("_keys", "_priorities", "_positions")
+
+    def __init__(self) -> None:
+        self._keys: list[K] = []
+        self._priorities: list[float] = []
+        self._positions: dict[K, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def push(self, key: K, priority: float) -> None:
+        """Insert ``key``, or update its priority if already present."""
+        pos = self._positions.get(key)
+        if pos is None:
+            self._keys.append(key)
+            self._priorities.append(priority)
+            self._positions[key] = len(self._keys) - 1
+            self._sift_up(len(self._keys) - 1)
+            return
+        old = self._priorities[pos]
+        self._priorities[pos] = priority
+        if priority < old:
+            self._sift_up(pos)
+        elif priority > old:
+            self._sift_down(pos)
+
+    def decrease_key(self, key: K, priority: float) -> bool:
+        """Lower ``key``'s priority; no-op (returns False) if not lower."""
+        pos = self._positions[key]
+        if priority >= self._priorities[pos]:
+            return False
+        self._priorities[pos] = priority
+        self._sift_up(pos)
+        return True
+
+    def pop(self) -> tuple[K, float]:
+        """Remove and return the ``(key, priority)`` with smallest priority."""
+        if not self._keys:
+            raise IndexError("pop from empty heap")
+        key = self._keys[0]
+        priority = self._priorities[0]
+        self._delete_at(0)
+        return key, priority
+
+    def peek(self) -> tuple[K, float]:
+        """Smallest ``(key, priority)`` without removal."""
+        if not self._keys:
+            raise IndexError("peek on empty heap")
+        return self._keys[0], self._priorities[0]
+
+    def remove(self, key: K) -> float:
+        """Remove an arbitrary key, returning its priority."""
+        pos = self._positions[key]
+        priority = self._priorities[pos]
+        self._delete_at(pos)
+        return priority
+
+    def priority_of(self, key: K) -> float:
+        """Current priority of ``key`` (KeyError if absent)."""
+        return self._priorities[self._positions[key]]
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._positions
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _delete_at(self, pos: int) -> None:
+        keys, prios, positions = self._keys, self._priorities, self._positions
+        last = len(keys) - 1
+        del positions[keys[pos]]
+        if pos != last:
+            keys[pos] = keys[last]
+            prios[pos] = prios[last]
+            positions[keys[pos]] = pos
+        keys.pop()
+        prios.pop()
+        if pos < len(keys):
+            self._sift_down(pos)
+            self._sift_up(pos)
+
+    def _sift_up(self, pos: int) -> None:
+        keys, prios, positions = self._keys, self._priorities, self._positions
+        key, prio = keys[pos], prios[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if prios[parent] <= prio:
+                break
+            keys[pos] = keys[parent]
+            prios[pos] = prios[parent]
+            positions[keys[pos]] = pos
+            pos = parent
+        keys[pos] = key
+        prios[pos] = prio
+        positions[key] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        keys, prios, positions = self._keys, self._priorities, self._positions
+        size = len(keys)
+        key, prio = keys[pos], prios[pos]
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and prios[right] < prios[child]:
+                child = right
+            if prios[child] >= prio:
+                break
+            keys[pos] = keys[child]
+            prios[pos] = prios[child]
+            positions[keys[pos]] = pos
+            pos = child
+        keys[pos] = key
+        prios[pos] = prio
+        positions[key] = pos
+
+    def check_invariant(self) -> bool:
+        """Verify the heap property and index consistency (for tests)."""
+        prios = self._priorities
+        for pos in range(1, len(prios)):
+            if prios[(pos - 1) >> 1] > prios[pos]:
+                return False
+        return all(
+            self._keys[pos] == key and 0 <= pos < len(self._keys)
+            for key, pos in self._positions.items()
+        ) and len(self._positions) == len(self._keys)

@@ -1,0 +1,132 @@
+"""Result validation — the KPJ answer contract, checkable.
+
+A downstream system integrating a top-k path engine wants to *verify*
+answers cheaply rather than trust them: :func:`validate_result` checks
+every structural property a correct KPJ answer must satisfy in
+``O(total path length)`` and returns the violations; for small
+instances :func:`validate_against_oracle` additionally compares the
+lengths against the brute-force enumeration.
+
+These checks are also what the package's own property-based tests
+assert, so the contract is written down exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.result import QueryResult
+from repro.graph.digraph import DiGraph
+
+__all__ = ["validate_result", "validate_against_oracle", "ValidationReport"]
+
+
+class ValidationReport:
+    """Outcome of a validation: a (possibly empty) list of violations."""
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(message)
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``AssertionError`` listing the violations, if any."""
+        if self.violations:
+            raise AssertionError(
+                "invalid query result:\n  " + "\n  ".join(self.violations)
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "ok" if self.ok else f"{len(self.violations)} violations"
+        return f"ValidationReport({status})"
+
+
+def validate_result(
+    graph: DiGraph,
+    result: QueryResult,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    k: int,
+    tolerance: float = 1e-9,
+) -> ValidationReport:
+    """Check the structural contract of a KPJ/GKPJ answer.
+
+    Verifies that every path: starts in ``sources``, ends in
+    ``destinations``, is a simple path of ``graph``, and carries its
+    true weight as ``length``; that lengths are non-decreasing; that
+    paths are pairwise distinct; and that at most ``k`` are returned.
+    (Optimality itself needs an oracle — see
+    :func:`validate_against_oracle`.)
+    """
+    report = ValidationReport()
+    source_set = set(sources)
+    destination_set = set(destinations)
+    if len(result.paths) > k:
+        report.add(f"{len(result.paths)} paths returned for k={k}")
+    previous = float("-inf")
+    seen: set[tuple[int, ...]] = set()
+    for rank, path in enumerate(result.paths, start=1):
+        where = f"path #{rank} {path.nodes}"
+        if not path.nodes:
+            report.add(f"{where}: empty")
+            continue
+        if path.nodes[0] not in source_set:
+            report.add(f"{where}: starts at {path.nodes[0]}, not a source")
+        if path.nodes[-1] not in destination_set:
+            report.add(f"{where}: ends at {path.nodes[-1]}, not a destination")
+        if len(set(path.nodes)) != len(path.nodes):
+            report.add(f"{where}: revisits a node")
+        try:
+            weight = graph.path_weight(path.nodes)
+        except Exception as exc:  # GraphError: missing hop
+            report.add(f"{where}: not a path of the graph ({exc})")
+        else:
+            if abs(weight - path.length) > tolerance:
+                report.add(
+                    f"{where}: declared length {path.length} but edges sum "
+                    f"to {weight}"
+                )
+        if path.length < previous - tolerance:
+            report.add(f"{where}: lengths decrease ({previous} -> {path.length})")
+        previous = path.length
+        if path.nodes in seen:
+            report.add(f"{where}: duplicate path")
+        seen.add(path.nodes)
+    return report
+
+
+def validate_against_oracle(
+    graph: DiGraph,
+    result: QueryResult,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    k: int,
+    tolerance: float = 1e-9,
+) -> ValidationReport:
+    """Full validation including optimality, via brute-force enumeration.
+
+    Exponential in the graph size — intended for small graphs (tests,
+    debugging a production incident on an extracted subgraph).
+    """
+    from repro.baselines.brute_force import brute_force_topk
+
+    report = validate_result(graph, result, sources, destinations, k, tolerance)
+    pool = []
+    for source in set(sources):
+        pool.extend(brute_force_topk(graph, source, destinations, k))
+    pool.sort()
+    expected = [p.length for p in pool[:k]]
+    got = list(result.lengths)
+    if len(got) != len(expected):
+        report.add(f"expected {len(expected)} paths, got {len(got)}")
+    for rank, (a, b) in enumerate(zip(got, expected), start=1):
+        if abs(a - b) > tolerance:
+            report.add(f"rank {rank}: length {a}, oracle says {b}")
+    return report

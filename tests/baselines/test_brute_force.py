@@ -1,0 +1,52 @@
+"""Unit tests for the brute-force enumeration oracle itself."""
+
+from repro.baselines.brute_force import brute_force_topk, enumerate_simple_paths
+from repro.graph.digraph import DiGraph
+
+
+class TestEnumeration:
+    def test_diamond_enumerates_both_routes(self, diamond_graph):
+        paths = list(enumerate_simple_paths(diamond_graph, 0, (3,)))
+        assert sorted(p.nodes for p in paths) == [(0, 1, 3), (0, 2, 3)]
+
+    def test_paths_are_simple(self):
+        g = DiGraph.from_edges(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0), (1, 3, 1.0)],
+        )
+        for path in enumerate_simple_paths(g, 0, (3,)):
+            assert len(set(path.nodes)) == len(path.nodes)
+            assert g.is_simple_path(path.nodes)
+
+    def test_source_in_destination_set_yields_trivial_path(self, line_graph):
+        paths = list(enumerate_simple_paths(line_graph, 2, (2, 4)))
+        assert (2,) in [p.nodes for p in paths]
+
+    def test_path_may_continue_past_a_destination(self, line_graph):
+        # destinations {1, 3}: the path 0-1-2-3 passes through dest 1.
+        nodes = {p.nodes for p in enumerate_simple_paths(line_graph, 0, (1, 3))}
+        assert (0, 1) in nodes
+        assert (0, 1, 2, 3) in nodes
+
+    def test_lengths_are_path_weights(self, diamond_graph):
+        for path in enumerate_simple_paths(diamond_graph, 0, (3,)):
+            assert path.length == diamond_graph.path_weight(path.nodes)
+
+    def test_no_path(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        assert list(enumerate_simple_paths(g, 0, (2,))) == []
+
+
+class TestTopK:
+    def test_sorted_by_length(self, diamond_graph):
+        top = brute_force_topk(diamond_graph, 0, (3,), 2)
+        assert [p.length for p in top] == [2.0, 3.0]
+
+    def test_k_larger_than_path_count(self, diamond_graph):
+        top = brute_force_topk(diamond_graph, 0, (3,), 100)
+        assert len(top) == 2
+
+    def test_deterministic_tie_break(self):
+        g = DiGraph.from_edges(4, [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)])
+        top = brute_force_topk(g, 0, (3,), 2)
+        assert [p.nodes for p in top] == [(0, 1, 3), (0, 2, 3)]

@@ -1,0 +1,63 @@
+"""Unit tests for DA (Alg. 1) on the G_Q transform."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.baselines.deviation import deviation_algorithm
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+from tests.conftest import random_graph
+
+
+def run_da(graph, source, destinations, k, stats=None):
+    qg = build_query_graph(graph, (source,), destinations)
+    paths = deviation_algorithm(qg, k, stats=stats)
+    return [(qg.strip(p.nodes), p.length) for p in paths]
+
+
+class TestDeviation:
+    def test_paper_example_top3(self, paper_built, paper_graph):
+        """Example 3.1: top-3 from v1 to category H has lengths 5, 6, 7."""
+        v = paper_built.node_id
+        hotels = [v("v4"), v("v6"), v("v7")]
+        results = run_da(paper_graph, v("v1"), hotels, 3)
+        assert [length for _, length in results] == [5.0, 6.0, 7.0]
+        assert results[0][0] == (v("v1"), v("v8"), v("v7"))
+        assert results[1][0] == (v("v1"), v("v3"), v("v6"))
+
+    def test_matches_brute_force_multi_destination(self):
+        rng = random.Random(61)
+        for _ in range(20):
+            g = random_graph(rng)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), rng.randint(1, 3))
+            k = rng.randint(1, 6)
+            expected = [p.length for p in brute_force_topk(g, src, dests, k)]
+            got = [length for _, length in run_da(g, src, dests, k)]
+            assert got == pytest.approx(expected)
+
+    def test_no_path(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        assert run_da(g, 0, (2,), 3) == []
+
+    def test_fewer_paths_than_k(self, diamond_graph):
+        results = run_da(diamond_graph, 0, (3,), 10)
+        assert len(results) == 2
+
+    def test_paths_are_simple_in_base_graph(self):
+        rng = random.Random(62)
+        g = random_graph(rng, bidirectional=True)
+        for path, _ in run_da(g, 0, (g.n - 1,), 8):
+            assert g.is_simple_path(path)
+
+    def test_candidate_count_is_order_k_n(self, paper_built, paper_graph):
+        """DA computes O(k * len(path)) candidate shortest paths."""
+        v = paper_built.node_id
+        stats = SearchStats()
+        run_da(paper_graph, v("v1"), [v("v4"), v("v6"), v("v7")], 3, stats=stats)
+        # 1 initial + refreshes per chosen path; much more than the
+        # single computation the iteratively bounding approach needs.
+        assert stats.shortest_path_computations >= 4

@@ -1,0 +1,69 @@
+"""Unit tests for the pseudo-tree (Fig. 2's running example)."""
+
+import pytest
+
+from repro.baselines.pseudo_tree import PseudoTree
+
+
+class TestPseudoTree:
+    def test_initial_tree_is_single_vertex(self):
+        tree = PseudoTree(0)
+        assert len(tree) == 1
+        assert tree.root.node == 0
+        assert tree.root.prefix == (0,)
+        assert tree.root.used_hops == set()
+
+    def test_insert_first_path(self):
+        tree = PseudoTree(0)
+        deviation, new = tree.insert((0, 1, 2), [1.0, 2.0])
+        assert deviation is tree.root
+        assert [v.node for v in new] == [1, 2]
+        assert tree.root.used_hops == {1}
+        assert new[0].prefix == (0, 1)
+        assert new[0].prefix_weight == 1.0
+        assert new[1].prefix == (0, 1, 2)
+        assert new[1].prefix_weight == 3.0
+        assert len(tree) == 3
+
+    def test_insert_shares_longest_prefix(self):
+        tree = PseudoTree(0)
+        tree.insert((0, 1, 2), [1.0, 1.0])
+        deviation, new = tree.insert((0, 1, 3), [1.0, 5.0])
+        assert deviation.node == 1
+        assert deviation.prefix == (0, 1)
+        assert [v.node for v in new] == [3]
+        assert deviation.used_hops == {2, 3}
+
+    def test_paper_fig2_sequence(self):
+        """The three insertions of Example 3.1 (ids: v1=1, ..., t=0)."""
+        tree = PseudoTree(1)
+        # P1 = (v1, v8, v7, t)
+        tree.insert((1, 8, 7, 0), [2.0, 3.0, 0.0])
+        # P2 = (v1, v3, v6, t): deviates at v1.
+        deviation, new = tree.insert((1, 3, 6, 0), [3.0, 3.0, 0.0])
+        assert deviation is tree.root
+        assert tree.root.used_hops == {8, 3}
+        # P3 = (v1, v3, v7, t): deviates at v3.
+        deviation, new = tree.insert((1, 3, 7, 0), [3.0, 4.0, 0.0])
+        assert deviation.node == 3
+        assert [v.node for v in new] == [7, 0]
+        # Fig. 2(c) has 8 vertices: v1, v8, v7, t, v3, v6, t, v7', t.
+        assert len(tree) == 9
+
+    def test_same_graph_node_appears_twice(self):
+        tree = PseudoTree(0)
+        tree.insert((0, 1, 2), [1.0, 1.0])
+        tree.insert((0, 3, 2), [1.0, 1.0])
+        nodes = [v.node for v in tree.vertices()]
+        assert nodes.count(2) == 2  # v2 appears under both branches
+
+    def test_insert_wrong_source_asserts(self):
+        tree = PseudoTree(0)
+        with pytest.raises(AssertionError):
+            tree.insert((1, 2), [1.0])
+
+    def test_vertices_iterates_all(self):
+        tree = PseudoTree(0)
+        tree.insert((0, 1), [1.0])
+        tree.insert((0, 2), [1.0])
+        assert sorted(v.node for v in tree.vertices()) == [0, 1, 2]

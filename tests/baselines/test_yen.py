@@ -1,0 +1,62 @@
+"""Unit tests for classic Yen (the independent oracle)."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.baselines.yen import yen_ksp
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from tests.conftest import random_graph
+
+
+class TestYen:
+    def test_diamond(self, diamond_graph):
+        paths = yen_ksp(diamond_graph, 0, 3, 5)
+        assert [p.length for p in paths] == [2.0, 3.0]
+        assert paths[0].nodes == (0, 1, 3)
+
+    def test_no_path_returns_empty(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        assert yen_ksp(g, 0, 2, 3) == []
+
+    def test_k_one_is_shortest_path(self, line_graph):
+        paths = yen_ksp(line_graph, 0, 4, 1)
+        assert len(paths) == 1
+        assert paths[0].length == 4.0
+
+    def test_lengths_non_decreasing(self):
+        rng = random.Random(51)
+        for _ in range(10):
+            g = random_graph(rng, bidirectional=True)
+            paths = yen_ksp(g, 0, g.n - 1, 8)
+            lengths = [p.length for p in paths]
+            assert lengths == sorted(lengths)
+
+    def test_paths_simple_and_distinct(self):
+        rng = random.Random(52)
+        g = random_graph(rng, min_nodes=8, max_nodes=10, bidirectional=True)
+        paths = yen_ksp(g, 0, g.n - 1, 10)
+        seen = set()
+        for p in paths:
+            assert g.is_simple_path(p.nodes)
+            assert p.nodes not in seen
+            seen.add(p.nodes)
+
+    def test_matches_brute_force(self):
+        rng = random.Random(53)
+        for _ in range(20):
+            g = random_graph(rng)
+            src, dst = rng.randrange(g.n), rng.randrange(g.n)
+            if src == dst:
+                continue
+            k = rng.randint(1, 6)
+            expected = [p.length for p in brute_force_topk(g, src, (dst,), k)]
+            got = [p.length for p in yen_ksp(g, src, dst, k)]
+            assert got == pytest.approx(expected)
+
+    def test_stats_counted(self, diamond_graph):
+        stats = SearchStats()
+        yen_ksp(diamond_graph, 0, 3, 2, stats=stats)
+        assert stats.shortest_path_computations >= 2

@@ -1,0 +1,120 @@
+"""Smoke tests of the per-figure experiments (minimal query counts).
+
+These verify the experiment *definitions* — series labels, x-axes,
+figure structure — not the timings themselves; each runs with one
+query per point on the smallest datasets involved.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestTable1:
+    def test_rows_cover_registry(self):
+        rows = experiments.table1()
+        assert [r["dataset"] for r in rows] == ["SJ", "CAL", "SF", "COL", "FLA", "USA"]
+        for row in rows:
+            assert row["nodes"] > 0
+            assert row["edges"] > 0
+            assert row["paper_nodes"] > row["nodes"]
+
+
+class TestFigureDefinitions:
+    def test_fig6a_structure(self):
+        fig = experiments.fig6a(queries_per_point=1, sizes=(4, 8))
+        assert [s.label for s in fig.series] == list(experiments.CAL_CATEGORIES)
+        for series in fig.series:
+            assert [x for x, _ in series.points] == ["4", "8"]
+            assert all(v > 0 for _, v in series.points)
+
+    def test_fig6b_structure(self):
+        fig = experiments.fig6b(queries_per_point=1, alphas=(1.1, 1.5))
+        for series in fig.series:
+            assert [x for x, _ in series.points] == ["1.1", "1.5"]
+
+    def test_fig9_sj_vary_q(self):
+        fig = experiments.fig9("SJ", vary="Q", queries_per_point=1)
+        assert [s.label for s in fig.series] == [
+            "BestFirst",
+            "IterBound",
+            "IterBoundP",
+            "IterBoundI",
+        ]
+        for series in fig.series:
+            assert [x for x, _ in series.points] == ["Q1", "Q2", "Q3", "Q4", "Q5"]
+
+    def test_fig9_vary_k(self):
+        fig = experiments.fig9("SJ", vary="k", queries_per_point=1)
+        for series in fig.series:
+            assert [x for x, _ in series.points] == ["10", "20", "30", "50"]
+
+    def test_fig9_invalid_vary(self):
+        with pytest.raises(ValueError):
+            experiments.fig9("SJ", vary="z", queries_per_point=1)
+
+    def test_fig10_structure(self):
+        fig = experiments.fig10("SJ", queries_per_point=1)
+        for series in fig.series:
+            labels = [x for x, _ in series.points]
+            assert len(labels) == 4
+            assert labels[0].startswith("T1(")
+
+    def test_fig11_small(self):
+        fig = experiments.fig11(datasets=("SJ",), sample_sources=3)
+        assert fig.series[0].label == "SJ"
+        percentiles = [v for _, v in fig.series[0].points]
+        assert len(percentiles) == 4
+        assert all(0.0 <= p <= 100.0 for p in percentiles)
+        # More destinations -> shorter longest path -> smaller percentile.
+        assert percentiles[0] >= percentiles[-1]
+
+    def test_fig12a_small(self):
+        fig = experiments.fig12a(datasets=("SJ",), queries_per_point=1)
+        assert fig.series[0].label == "IterBoundI"
+        assert [x for x, _ in fig.series[0].points] == ["SJ"]
+
+    def test_fig12b_small(self):
+        fig = experiments.fig12b("SJ", k_values=(5, 10), queries_per_point=1)
+        assert [x for x, _ in fig.series[0].points] == ["5", "10"]
+
+    def test_fig13_structure(self):
+        fig = experiments.fig13("SJ", vary="k", queries_per_point=1)
+        assert [s.label for s in fig.series] == ["DA-SPT", "IterBoundI"]
+
+    def test_fig13_invalid_vary(self):
+        with pytest.raises(ValueError):
+            experiments.fig13("SJ", vary="x", queries_per_point=1)
+
+    def test_ablation_bounds(self):
+        fig = experiments.ablation_bounds("SJ", category="T2", queries_per_point=1)
+        assert [s.label for s in fig.series] == ["Eq2", "Eq1"]
+
+    def test_work_table(self):
+        fig = experiments.work_table("SJ", category="T2", queries_per_point=1)
+        series = {s.label: dict(s.points) for s in fig.series}
+        assert set(series) == {"sp_computations", "nodes_settled", "lb_tests"}
+        # Lemma 4.1 made measurable: the iteratively bounding methods
+        # run exactly one full shortest-path computation per query.
+        assert series["sp_computations"]["IterBoundI"] == 1.0
+        assert series["sp_computations"]["DA"] > series["sp_computations"]["IterBoundI"]
+        # The deviation paradigm never calls TestLB.
+        assert series["lb_tests"]["DA"] == 0.0
+
+    def test_ablation_hub_labels(self):
+        fig = experiments.ablation_hub_labels("SJ", queries_per_point=1)
+        assert [s.label for s in fig.series] == ["hub-labels", "landmarks-eq2"]
+        for series in fig.series:
+            assert [x for x, _ in series.points] == ["KSP", "KPJ-T2"]
+            assert all(v > 0 for _, v in series.points)
+
+    def test_ablation_alpha_counters(self):
+        fig = experiments.ablation_alpha_counters(
+            "SJ", category="T2", alphas=(1.1, 1.5), queries_per_point=1
+        )
+        labels = [s.label for s in fig.series]
+        assert labels == ["lb_tests", "lb_test_failures", "nodes_settled"]
+        tests = dict(fig.series[0].points)
+        failures = dict(fig.series[1].points)
+        for alpha in ("1.1", "1.5"):
+            assert failures[alpha] <= tests[alpha]

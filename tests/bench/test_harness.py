@@ -1,0 +1,99 @@
+"""Unit tests for the benchmark harness and reporting."""
+
+import pytest
+
+from repro.bench.harness import (
+    FigureResult,
+    Series,
+    solver_for,
+    time_query_batch,
+    workload_for,
+)
+from repro.bench.reporting import format_figure, format_speedups, write_figure
+
+
+class TestSeriesAndFigure:
+    def test_series_add(self):
+        s = Series("x")
+        s.add("a", 1.0)
+        s.add("b", 2.0)
+        assert s.points == [("a", 1.0), ("b", 2.0)]
+
+    def test_new_series_registers(self):
+        fig = FigureResult(figure="F", title="t", x_label="x")
+        s = fig.new_series("algo")
+        assert fig.series == [s]
+
+
+class TestCaches:
+    def test_solver_cached(self):
+        a = solver_for("SJ", landmarks=4)
+        b = solver_for("SJ", landmarks=4)
+        assert a is b
+
+    def test_solver_distinct_per_landmark_count(self):
+        a = solver_for("SJ", landmarks=4)
+        b = solver_for("SJ", landmarks=5)
+        assert a is not b
+        assert b[1].landmark_index.size == 5
+
+    def test_workload_cached(self):
+        a = workload_for("SJ", "T2", per_group=5)
+        b = workload_for("SJ", "T2", per_group=5)
+        assert a is b
+
+
+class TestTiming:
+    def test_time_query_batch(self):
+        _, solver = solver_for("SJ", landmarks=4)
+        workload = workload_for("SJ", "T2", per_group=5)
+        timing = time_query_batch(
+            solver, workload.group("Q1")[:3], "T2", 5, "iter-bound-spti"
+        )
+        assert timing.queries == 3
+        assert timing.mean_ms > 0
+        assert timing.total_ms >= timing.mean_ms
+        assert timing.stats.nodes_settled > 0
+
+
+class TestReporting:
+    def make_figure(self):
+        fig = FigureResult(figure="Fig X", title="demo", x_label="k")
+        a = fig.new_series("DA")
+        a.add("10", 100.0)
+        a.add("20", 200.0)
+        b = fig.new_series("IterBoundI")
+        b.add("10", 1.0)
+        b.add("20", 2.0)
+        return fig
+
+    def test_format_contains_all_cells(self):
+        text = format_figure(self.make_figure())
+        assert "Fig X" in text
+        assert "DA" in text and "IterBoundI" in text
+        assert "100" in text and "2.00" in text
+
+    def test_format_handles_missing_points(self):
+        fig = self.make_figure()
+        fig.series[1].points.pop()  # IterBoundI loses its "20" point
+        text = format_figure(fig)
+        assert "IterBoundI" in text
+
+    def test_speedups_relative_to_baseline(self):
+        text = format_speedups(self.make_figure(), "DA")
+        assert "speedup vs DA" in text
+        assert "100" in text  # IterBoundI is 100x at both points
+
+    def test_speedups_unknown_baseline_raises(self):
+        with pytest.raises(ValueError):
+            format_speedups(self.make_figure(), "Nope")
+
+    def test_write_figure(self, tmp_path):
+        path = write_figure(self.make_figure(), tmp_path)
+        assert path.exists()
+        assert "demo" in path.read_text()
+
+    def test_notes_rendered(self):
+        fig = self.make_figure()
+        fig.notes = "values are percentiles"
+        assert "percentiles" in format_figure(fig)

@@ -1,0 +1,94 @@
+"""Unit tests for BestFirst (Alg. 2) including Lemma 4.1."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.baselines.deviation import deviation_algorithm
+from repro.core.best_first import best_first
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex
+from tests.conftest import random_graph
+
+
+def run(graph, source, destinations, k, heuristic=ZERO_BOUNDS, stats=None):
+    qg = build_query_graph(graph, (source,), destinations)
+    paths = best_first(qg, k, heuristic, stats=stats)
+    return qg, [(qg.strip(p.nodes), p.length) for p in paths]
+
+
+class TestBestFirst:
+    def test_paper_example(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        hotels = [v("v4"), v("v6"), v("v7")]
+        _, results = run(paper_graph, v("v1"), hotels, 3)
+        assert [length for _, length in results] == [5.0, 6.0, 7.0]
+        assert results[0][0] == (v("v1"), v("v8"), v("v7"))
+
+    def test_matches_brute_force_zero_heuristic(self):
+        rng = random.Random(91)
+        for _ in range(20):
+            g = random_graph(rng)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), rng.randint(1, 3))
+            k = rng.randint(1, 6)
+            expected = [p.length for p in brute_force_topk(g, src, dests, k)]
+            _, results = run(g, src, dests, k)
+            assert [length for _, length in results] == pytest.approx(expected)
+
+    def test_matches_brute_force_landmark_heuristic(self):
+        rng = random.Random(92)
+        for _ in range(20):
+            g = random_graph(rng, bidirectional=True)
+            index = LandmarkIndex.build(g, num_landmarks=3, seed=1)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), rng.randint(1, 3))
+            k = rng.randint(1, 6)
+            expected = [p.length for p in brute_force_topk(g, src, dests, k)]
+            bounds = index.to_target_bounds(tuple(dests))
+            _, results = run(g, src, dests, k, heuristic=bounds)
+            assert [length for _, length in results] == pytest.approx(expected)
+
+    def test_no_path(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        _, results = run(g, 0, (2,), 3)
+        assert results == []
+
+    def test_source_is_destination(self, line_graph):
+        _, results = run(line_graph, 2, (2,), 1)
+        assert results[0] == ((2,), 0.0)
+
+    def test_lemma_4_1_fewer_sp_computations_than_da(self):
+        """BestFirst's shortest-path computations <= DA's (Lemma 4.1)."""
+        rng = random.Random(93)
+        for _ in range(15):
+            g = random_graph(rng, min_nodes=8, max_nodes=14, bidirectional=True)
+            index = LandmarkIndex.build(g, num_landmarks=3, seed=0)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), 2)
+            k = rng.randint(2, 6)
+            qg = build_query_graph(g, (src,), dests)
+            bf_stats, da_stats = SearchStats(), SearchStats()
+            bf = best_first(qg, k, index.to_target_bounds(qg.destinations), stats=bf_stats)
+            da = deviation_algorithm(qg, k, stats=da_stats)
+            assert [p.length for p in bf] == pytest.approx([p.length for p in da])
+            assert (
+                bf_stats.shortest_path_computations
+                <= da_stats.shortest_path_computations
+            )
+
+    def test_subspace_counters(self, diamond_graph):
+        stats = SearchStats()
+        run(diamond_graph, 0, (3,), 2, stats=stats)
+        assert stats.subspaces_created >= 1
+        assert stats.lower_bound_computations >= 1
+
+    def test_lengths_non_decreasing_large_k(self):
+        rng = random.Random(94)
+        g = random_graph(rng, min_nodes=10, max_nodes=12, bidirectional=True)
+        _, results = run(g, 0, (g.n - 1,), 30)
+        lengths = [length for _, length in results]
+        assert lengths == sorted(lengths)

@@ -1,0 +1,140 @@
+"""Cross-algorithm edge cases: exhaustion, zero weights, determinism.
+
+These scenarios are where top-k engines typically diverge: fewer than
+k simple paths exist, zero-weight edges create ties and zero-length
+bounds, and destination nodes sit on paths to other destinations.
+Every registered algorithm must behave identically in all of them.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.core.kpj import ALGORITHMS, KPJSolver
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+from tests.conftest import random_graph
+
+
+def all_algorithm_lengths(graph, source, destinations, k, landmarks=2):
+    solver = KPJSolver(
+        graph, CategoryIndex({"T": destinations}), landmarks=min(landmarks, graph.n)
+    )
+    return {
+        algorithm: tuple(
+            round(x, 9)
+            for x in solver.top_k(
+                source, category="T", k=k, algorithm=algorithm
+            ).lengths
+        )
+        for algorithm in ALGORITHMS
+    }
+
+
+class TestExhaustion:
+    """k far exceeds the number of simple paths."""
+
+    def test_all_algorithms_agree_when_paths_run_out(self):
+        rng = random.Random(181)
+        for _ in range(10):
+            g = random_graph(rng, min_nodes=5, max_nodes=8)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), 2)
+            expected = tuple(
+                round(p.length, 9) for p in brute_force_topk(g, src, dests, 50)
+            )
+            results = all_algorithm_lengths(g, src, dests, 50)
+            for algorithm, lengths in results.items():
+                assert lengths == expected, algorithm
+
+    def test_single_path_graph(self):
+        g = DiGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        results = all_algorithm_lengths(g, 0, (3,), 10)
+        for algorithm, lengths in results.items():
+            assert lengths == (3.0,), algorithm
+
+    def test_isolated_source(self):
+        g = DiGraph(4)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.freeze()
+        results = all_algorithm_lengths(g, 0, (3,), 5)
+        for algorithm, lengths in results.items():
+            assert lengths == (), algorithm
+
+
+class TestZeroWeights:
+    def test_zero_weight_edges_everywhere(self):
+        # A graph whose every edge weighs 0: all paths tie at 0.
+        g = DiGraph.from_edges(
+            4,
+            [(0, 1, 0.0), (1, 3, 0.0), (0, 2, 0.0), (2, 3, 0.0), (1, 2, 0.0)],
+        )
+        expected = tuple(p.length for p in brute_force_topk(g, 0, (3,), 10))
+        results = all_algorithm_lengths(g, 0, (3,), 10)
+        for algorithm, lengths in results.items():
+            assert lengths == expected, algorithm
+
+    def test_source_in_destination_set(self):
+        g = DiGraph.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]
+        )
+        # The trivial zero-length path must rank first everywhere.
+        results = all_algorithm_lengths(g, 0, (0, 2), 3)
+        for algorithm, lengths in results.items():
+            assert lengths[0] == 0.0, algorithm
+
+    def test_mixed_zero_and_positive(self):
+        rng = random.Random(182)
+        for _ in range(10):
+            n = rng.randint(5, 8)
+            g = DiGraph(n)
+            seen = set()
+            for _ in range(3 * n):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and (u, v) not in seen:
+                    seen.add((u, v))
+                    g.add_edge(u, v, float(rng.choice([0, 0, 1, 2, 5])))
+            g.freeze()
+            src = rng.randrange(n)
+            dests = rng.sample(range(n), 2)
+            expected = tuple(
+                round(p.length, 9) for p in brute_force_topk(g, src, dests, 6)
+            )
+            results = all_algorithm_lengths(g, src, dests, 6)
+            for algorithm, lengths in results.items():
+                assert lengths == expected, algorithm
+
+
+class TestDestinationOnTheWay:
+    def test_path_through_one_destination_to_another(self):
+        # 0 -> 1 -> 2, both 1 and 2 are destinations: the length-2 path
+        # through destination 1 must appear.
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        solver = KPJSolver(g, CategoryIndex({"T": [1, 2]}), landmarks=None)
+        for algorithm in ALGORITHMS:
+            result = solver.top_k(0, category="T", k=2, algorithm=algorithm)
+            assert result.lengths == (1.0, 2.0), algorithm
+            assert result.paths[1].nodes == (0, 1, 2), algorithm
+
+
+class TestDeterminism:
+    def test_same_query_twice_identical(self, paper_graph, paper_categories, paper_built):
+        solver = KPJSolver(paper_graph, paper_categories, landmarks=4)
+        v = paper_built.node_id
+        for algorithm in ALGORITHMS:
+            a = solver.top_k(v("v1"), category="H", k=5, algorithm=algorithm)
+            b = solver.top_k(v("v1"), category="H", k=5, algorithm=algorithm)
+            assert [p.nodes for p in a.paths] == [p.nodes for p in b.paths]
+            assert a.lengths == b.lengths
+
+    def test_fresh_solver_same_answer(self, paper_graph, paper_categories, paper_built):
+        v = paper_built.node_id
+        a = KPJSolver(paper_graph, paper_categories, landmarks=4, seed=0).top_k(
+            v("v1"), category="H", k=5
+        )
+        b = KPJSolver(paper_graph, paper_categories, landmarks=4, seed=0).top_k(
+            v("v1"), category="H", k=5
+        )
+        assert a.lengths == b.lengths

@@ -1,0 +1,108 @@
+"""Unit tests for GKPJ (Section 6: set-valued sources)."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.core.gkpj import gkpj
+from repro.core.kpj import ALGORITHMS, KPJSolver
+from repro.exceptions import QueryError
+from repro.graph.categories import CategoryIndex
+from tests.conftest import random_graph
+
+
+def brute_force_gkpj(graph, sources, destinations, k):
+    """Ground truth: best k among per-source enumerations."""
+    pool = []
+    for source in set(sources):
+        pool.extend(brute_force_topk(graph, source, destinations, k))
+    pool.sort()
+    return [p.length for p in pool[:k]]
+
+
+class TestJoin:
+    def test_paper_scenario_two_categories(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        categories = CategoryIndex(
+            {"H": [v("v4"), v("v6"), v("v7")], "S": [v("v9"), v("v12")]}
+        )
+        solver = KPJSolver(paper_graph, categories, landmarks=4)
+        result = solver.join(source_category="S", category="H", k=3)
+        expected = brute_force_gkpj(
+            paper_graph, categories.nodes_of("S"), categories.nodes_of("H"), 3
+        )
+        assert list(result.lengths) == pytest.approx(expected)
+        # Paths must start in V_S and end in V_T, without virtual ids.
+        for path in result.paths:
+            assert path.source in categories.node_set("S")
+            assert path.destination in categories.node_set("H")
+            assert max(path.nodes) < paper_graph.n
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_all_algorithms_agree_on_gkpj(self, paper_built, paper_graph, algorithm):
+        v = paper_built.node_id
+        solver = KPJSolver(paper_graph, landmarks=4)
+        result = solver.join(
+            sources=[v("v9"), v("v12")],
+            destinations=[v("v4"), v("v6"), v("v7")],
+            k=4,
+            algorithm=algorithm,
+        )
+        expected = brute_force_gkpj(
+            paper_graph, [v("v9"), v("v12")], [v("v4"), v("v6"), v("v7")], 4
+        )
+        assert list(result.lengths) == pytest.approx(expected)
+
+    def test_matches_brute_force_random(self):
+        rng = random.Random(141)
+        for _ in range(15):
+            g = random_graph(rng, bidirectional=True)
+            sources = rng.sample(range(g.n), 2)
+            dests = rng.sample(range(g.n), 2)
+            k = rng.randint(1, 5)
+            solver = KPJSolver(g, landmarks=2)
+            result = solver.join(sources=sources, destinations=dests, k=k)
+            expected = brute_force_gkpj(g, sources, dests, k)
+            assert list(result.lengths) == pytest.approx(expected)
+
+    def test_single_source_join_equals_top_k(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        solver = KPJSolver(paper_graph, landmarks=4)
+        a = solver.join(
+            sources=[v("v1")], destinations=[v("v6"), v("v7")], k=3
+        )
+        b = solver.top_k(v("v1"), destinations=[v("v6"), v("v7")], k=3)
+        assert a.lengths == b.lengths
+
+    def test_source_validation(self, paper_graph):
+        solver = KPJSolver(paper_graph, landmarks=None)
+        with pytest.raises(QueryError):
+            solver.join(destinations=[1], k=2)  # no sources at all
+        with pytest.raises(QueryError):
+            solver.join(
+                source_category="X", sources=[0], destinations=[1], k=2
+            )  # both given
+
+    def test_overlapping_source_and_destination(self, line_graph):
+        # A node in both V_S and V_T yields a zero-length trivial path.
+        solver = KPJSolver(line_graph, landmarks=None)
+        result = solver.join(sources=[0, 2], destinations=[2, 4], k=2)
+        assert result.paths[0].nodes == (2,)
+        assert result.paths[0].length == 0.0
+
+
+class TestFunctionEntryPoint:
+    def test_gkpj_function(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        result = gkpj(
+            paper_graph,
+            sources=[v("v9"), v("v12")],
+            destinations=[v("v4"), v("v6"), v("v7")],
+            k=3,
+            landmarks=2,
+        )
+        expected = brute_force_gkpj(
+            paper_graph, [v("v9"), v("v12")], [v("v4"), v("v6"), v("v7")], 3
+        )
+        assert list(result.lengths) == pytest.approx(expected)

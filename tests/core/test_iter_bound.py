@@ -1,0 +1,139 @@
+"""Unit tests for the iteratively bounding driver (Alg. 4)."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.core.iter_bound import iter_bound, iter_bound_search
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex
+from tests.conftest import random_graph
+
+
+def run(graph, source, destinations, k, heuristic=ZERO_BOUNDS, alpha=1.1, stats=None):
+    qg = build_query_graph(graph, (source,), destinations)
+    paths = iter_bound(qg, k, heuristic, alpha=alpha, stats=stats)
+    return [(qg.strip(p.nodes), p.length) for p in paths]
+
+
+class TestIterBound:
+    def test_paper_example(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        hotels = [v("v4"), v("v6"), v("v7")]
+        results = run(paper_graph, v("v1"), hotels, 3)
+        assert [length for _, length in results] == [5.0, 6.0, 7.0]
+
+    def test_matches_brute_force(self):
+        rng = random.Random(101)
+        for _ in range(20):
+            g = random_graph(rng)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), rng.randint(1, 3))
+            k = rng.randint(1, 6)
+            expected = [p.length for p in brute_force_topk(g, src, dests, k)]
+            got = [length for _, length in run(g, src, dests, k)]
+            assert got == pytest.approx(expected)
+
+    @pytest.mark.parametrize("alpha", [1.01, 1.1, 1.5, 3.0, 10.0])
+    def test_alpha_does_not_change_answers(self, paper_built, paper_graph, alpha):
+        v = paper_built.node_id
+        hotels = [v("v4"), v("v6"), v("v7")]
+        results = run(paper_graph, v("v1"), hotels, 5, alpha=alpha)
+        assert [length for _, length in results] == [5.0, 6.0, 7.0, 7.0, 8.0]
+
+    @pytest.mark.parametrize("alpha", [1.0, 0.5, 0.0])
+    def test_invalid_alpha_rejected(self, diamond_graph, alpha):
+        with pytest.raises(ValueError):
+            run(diamond_graph, 0, (3,), 2, alpha=alpha)
+
+    def test_no_path(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        assert run(g, 0, (2,), 3) == []
+
+    def test_dead_end_subspace_terminates(self):
+        # A cul-de-sac: once the search commits to 0 -> 1 with edge
+        # (1, 2) banned, the subspace is empty; the tau-limit guard
+        # must retire it instead of growing tau forever.
+        g = DiGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        results = run(g, 0, (3,), 5)
+        assert [length for _, length in results] == [3.0]
+
+    def test_exhaustion_detection_prunes_without_limit(self):
+        # Same scenario but instrumented: the empty subspace must be
+        # counted as pruned.
+        g = DiGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        stats = SearchStats()
+        run(g, 0, (3,), 5, stats=stats)
+        assert stats.subspaces_pruned >= 1
+
+    def test_lb_test_counters(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        stats = SearchStats()
+        run(paper_graph, v("v1"), [v("v4"), v("v6"), v("v7")], 3, stats=stats)
+        assert stats.lb_tests > 0
+        assert stats.lb_test_failures <= stats.lb_tests
+
+    def test_only_one_full_sp_computation(self, paper_built, paper_graph):
+        """IterBound runs a single initial shortest-path computation;
+        everything else is bounded testing."""
+        v = paper_built.node_id
+        stats = SearchStats()
+        run(paper_graph, v("v1"), [v("v4"), v("v6"), v("v7")], 3, stats=stats)
+        assert stats.shortest_path_computations == 1
+
+    def test_with_landmark_heuristic(self):
+        rng = random.Random(102)
+        for _ in range(10):
+            g = random_graph(rng, bidirectional=True)
+            index = LandmarkIndex.build(g, 3, seed=2)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), 2)
+            k = rng.randint(1, 5)
+            expected = [p.length for p in brute_force_topk(g, src, dests, k)]
+            bounds = index.to_target_bounds(tuple(sorted(set(dests))))
+            got = [length for _, length in run(g, src, dests, k, heuristic=bounds)]
+            assert got == pytest.approx(expected)
+
+
+class TestIterBoundSearchDriver:
+    def test_initial_path_honoured(self, diamond_graph):
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        initial = ((0, 1, 3, qg.target), 2.0)
+        paths = iter_bound_search(
+            qg.graph, qg.source, qg.target, 2, ZERO_BOUNDS, initial=initial
+        )
+        assert [p.length for p in paths] == [2.0, 3.0]
+
+    def test_before_test_hook_called_with_growing_tau(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        qg = build_query_graph(
+            paper_graph, (v("v1"),), (v("v4"), v("v6"), v("v7"))
+        )
+        taus = []
+        iter_bound_search(
+            qg.graph,
+            qg.source,
+            qg.target,
+            3,
+            ZERO_BOUNDS,
+            before_test=taus.append,
+        )
+        assert taus, "TestLB was never invoked"
+        assert all(t > 0 for t in taus)
+
+    def test_custom_comp_lb_used(self, diamond_graph):
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        calls = []
+
+        def comp_lb(subspace):
+            calls.append(subspace)
+            return 0.0
+
+        paths = iter_bound_search(
+            qg.graph, qg.source, qg.target, 2, ZERO_BOUNDS, comp_lb=comp_lb
+        )
+        assert [p.length for p in paths] == [2.0, 3.0]
+        assert calls

@@ -1,0 +1,117 @@
+"""The paper's comparative claims, asserted with work counters.
+
+Wall-clock comparisons are machine-dependent; the *mechanisms* behind
+every figure are not.  These tests pin them on the SJ dataset with
+fixed seeds: exploration areas shrink in the order the paper's
+algorithm ladder predicts, the deviation paradigm's candidate count
+scales with k, and the indexed variants touch a fraction of the graph.
+"""
+
+import pytest
+
+from repro.core.kpj import KPJSolver
+from repro.core.stats import SearchStats
+from repro.datasets.queries import stratified_sources
+from repro.datasets.registry import road_network
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = road_network("SJ")
+    solver = KPJSolver(dataset.graph, dataset.categories, landmarks=8)
+    workload = stratified_sources(
+        dataset.graph, dataset.categories, "T2", per_group=10, seed=3
+    )
+    return dataset, solver, workload
+
+
+def batch_stats(solver, sources, algorithm, k=20, category="T2") -> SearchStats:
+    total = SearchStats()
+    for source in sources:
+        result = solver.top_k(source, category=category, k=k, algorithm=algorithm)
+        total.merge(result.stats)
+    return total
+
+
+class TestExplorationLadder:
+    """Each rung of the paper's ladder explores less than the last."""
+
+    def test_settled_nodes_order(self, setting):
+        _, solver, workload = setting
+        sources = workload.group("Q3")[:5]
+        totals = {
+            algorithm: batch_stats(solver, sources, algorithm)
+            for algorithm in ("da", "da-spt", "best-first", "iter-bound-spti")
+        }
+        settled = {name: s.nodes_settled for name, s in totals.items()}
+        # DA traverses exhaustively; the SPT and best-first both cut it
+        # down; IterBound_I's restricted exploration is far below all.
+        assert settled["da"] > settled["da-spt"]
+        assert settled["da"] > settled["best-first"]
+        assert settled["iter-bound-spti"] * 5 < settled["best-first"]
+        # Lemma 4.1 at workload level: BestFirst computes fewer
+        # candidate shortest paths than DA.
+        assert (
+            totals["best-first"].shortest_path_computations
+            < totals["da"].shortest_path_computations
+        )
+
+    def test_iterbound_family_single_sp_computation(self, setting):
+        _, solver, workload = setting
+        sources = workload.group("Q3")[:5]
+        for algorithm in ("iter-bound", "iter-bound-sptp", "iter-bound-spti"):
+            stats = batch_stats(solver, sources, algorithm)
+            assert stats.shortest_path_computations == len(sources), algorithm
+
+    def test_deviation_candidates_grow_with_k(self, setting):
+        """DA's O(k n) candidate computations, observed."""
+        _, solver, workload = setting
+        source = workload.group("Q3")[0]
+        counts = []
+        for k in (5, 10, 20):
+            result = solver.top_k(source, category="T2", k=k, algorithm="da")
+            counts.append(result.stats.shortest_path_computations)
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestIndexFootprints:
+    def test_full_spt_covers_graph_partial_trees_do_not(self, setting):
+        dataset, solver, workload = setting
+        source = workload.group("Q1")[0]  # a near query: trees stay small
+        full = solver.top_k(source, category="T2", k=20, algorithm="da-spt")
+        partial = solver.top_k(
+            source, category="T2", k=20, algorithm="iter-bound-sptp"
+        )
+        incremental = solver.top_k(
+            source, category="T2", k=20, algorithm="iter-bound-spti"
+        )
+        n = dataset.n
+        assert full.stats.spt_nodes >= 0.9 * n  # DA-SPT pays for everything
+        assert partial.stats.spt_nodes < full.stats.spt_nodes
+        assert incremental.stats.spt_nodes < full.stats.spt_nodes
+
+    def test_incremental_tree_tracks_query_difficulty(self, setting):
+        """Far queries (Q5) need bigger trees than near ones (Q1)."""
+        _, solver, workload = setting
+        near = batch_stats(solver, workload.group("Q1")[:5], "iter-bound-spti")
+        far = batch_stats(solver, workload.group("Q5")[:5], "iter-bound-spti")
+        assert far.spt_nodes > near.spt_nodes
+
+
+class TestLandmarkEffect:
+    def test_landmarks_shrink_exploration(self, setting):
+        """IterBound_I vs its NL variant: same answers, fewer nodes."""
+        _, solver, workload = setting
+        sources = workload.group("Q4")[:5]
+        with_lm = batch_stats(solver, sources, "iter-bound-spti")
+        without = batch_stats(solver, sources, "iter-bound-spti-nl")
+        assert with_lm.nodes_settled < without.nodes_settled
+
+    def test_answers_identical_with_and_without_landmarks(self, setting):
+        _, solver, workload = setting
+        for source in workload.group("Q4")[:5]:
+            a = solver.top_k(source, category="T2", k=20)
+            b = solver.top_k(
+                source, category="T2", k=20, algorithm="iter-bound-spti-nl"
+            )
+            assert a.lengths == b.lengths

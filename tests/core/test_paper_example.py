@@ -1,0 +1,72 @@
+"""End-to-end assertions of the paper's running example (Figs. 1–2,
+Examples 2.1, 3.1, 4.1).
+
+The fixture graph reproduces the Fig. 1 weights implied by the
+worked examples; these tests pin the library to the paper's numbers.
+"""
+
+import pytest
+
+from repro.core.kpj import ALGORITHMS, KPJSolver
+
+
+@pytest.fixture(scope="module")
+def solver(paper_graph, paper_categories):
+    return KPJSolver(paper_graph, paper_categories, landmarks=4)
+
+
+class TestExample21:
+    """Example 2.1: top-1 from v1 to category H is (v1, v8, v7), length 5."""
+
+    def test_top1(self, solver, paper_built):
+        v = paper_built.node_id
+        result = solver.top_k(v("v1"), category="H", k=1)
+        assert result.paths[0].nodes == (v("v1"), v("v8"), v("v7"))
+        assert result.paths[0].length == 5.0
+
+
+class TestExample31:
+    """Example 3.1: the top-3 paths are P1=(v1,v8,v7) len 5,
+    P2=(v1,v3,v6) len 6, P3 len 7."""
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_top3(self, solver, paper_built, algorithm):
+        v = paper_built.node_id
+        result = solver.top_k(v("v1"), category="H", k=3, algorithm=algorithm)
+        assert result.lengths == (5.0, 6.0, 7.0)
+        assert result.paths[0].nodes == (v("v1"), v("v8"), v("v7"))
+        assert result.paths[1].nodes == (v("v1"), v("v3"), v("v6"))
+        # Two paths tie at length 7: (v1,v3,v7) — the paper's P3 — and
+        # (v1,v3,v5,v6) — the paper's c(v3) in Fig. 2(c).
+        assert result.paths[2].nodes in {
+            (v("v1"), v("v3"), v("v7")),
+            (v("v1"), v("v3"), v("v5"), v("v6")),
+        }
+
+
+class TestExample41:
+    """Example 4.1 context: with k=2 the 2nd path comes from subspace
+    S2 = <(v1), {(v1, v8)}> — i.e. it avoids the edge (v1, v8)."""
+
+    def test_second_path_avoids_first_hop(self, solver, paper_built):
+        v = paper_built.node_id
+        result = solver.top_k(v("v1"), category="H", k=2)
+        second = result.paths[1].nodes
+        assert second[:2] != (v("v1"), v("v8"))
+        assert result.paths[1].length == 6.0
+
+
+class TestKSPOnGlacierStyleCategory:
+    """KPJ with a singleton category behaves exactly like KSP
+    (Section 7 treats KSP as a KPJ whose category has one node)."""
+
+    def test_singleton_category(self, paper_graph, paper_built):
+        from repro.graph.categories import CategoryIndex
+
+        v = paper_built.node_id
+        categories = CategoryIndex({"G": [v("v4")]})
+        solver = KPJSolver(paper_graph, categories, landmarks=4)
+        a = solver.top_k(v("v1"), category="G", k=3)
+        b = solver.ksp(v("v1"), v("v4"), k=3)
+        assert a.lengths == b.lengths
+        assert a.lengths[0] == 8.0  # v1 -> v3 -> v4

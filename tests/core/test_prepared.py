@@ -1,0 +1,60 @@
+"""Unit tests for the prepared-category batch API."""
+
+import pytest
+
+from repro.core.kpj import ALGORITHMS, KPJSolver
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def solver(paper_graph, paper_categories):
+    return KPJSolver(paper_graph, paper_categories, landmarks=4)
+
+
+class TestPreparedCategory:
+    def test_matches_direct_queries(self, solver, paper_built):
+        v = paper_built.node_id
+        prepared = solver.prepare(category="H")
+        for source_name in ("v1", "v9", "v12"):
+            source = v(source_name)
+            direct = solver.top_k(source, category="H", k=4)
+            batched = prepared.top_k(source, k=4)
+            assert batched.lengths == direct.lengths
+            assert [p.nodes for p in batched.paths] == [
+                p.nodes for p in direct.paths
+            ]
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_all_algorithms_supported(self, solver, paper_built, algorithm):
+        v = paper_built.node_id
+        prepared = solver.prepare(category="H")
+        result = prepared.top_k(v("v1"), k=3, algorithm=algorithm)
+        assert result.lengths == (5.0, 6.0, 7.0)
+
+    def test_join_through_prepared(self, solver, paper_built):
+        v = paper_built.node_id
+        prepared = solver.prepare(category="H")
+        direct = solver.join(
+            sources=[v("v9"), v("v12")], category="H", k=3
+        )
+        batched = prepared.join([v("v9"), v("v12")], k=3)
+        assert batched.lengths == direct.lengths
+
+    def test_explicit_destinations(self, solver, paper_built):
+        v = paper_built.node_id
+        prepared = solver.prepare(destinations=[v("v7")])
+        assert prepared.destinations == (v("v7"),)
+        result = prepared.top_k(v("v1"), k=1)
+        assert result.lengths == (5.0,)
+
+    def test_prepare_validation(self, solver):
+        with pytest.raises(QueryError):
+            solver.prepare()  # neither category nor destinations
+        with pytest.raises(QueryError):
+            solver.prepare(category="Nope")
+
+    def test_prepared_without_landmarks(self, paper_graph, paper_categories, paper_built):
+        bare = KPJSolver(paper_graph, paper_categories, landmarks=None)
+        prepared = bare.prepare(category="H")
+        v = paper_built.node_id
+        assert prepared.top_k(v("v1"), k=3).lengths == (5.0, 6.0, 7.0)

@@ -1,0 +1,79 @@
+"""Unit tests for Path / QueryResult containers."""
+
+from repro.core.result import Path, QueryResult
+from repro.core.stats import SearchStats
+
+
+class TestPath:
+    def test_ordering_by_length_then_nodes(self):
+        a = Path(length=1.0, nodes=(0, 1))
+        b = Path(length=2.0, nodes=(0, 2))
+        c = Path(length=1.0, nodes=(0, 2))
+        assert sorted([b, c, a]) == [a, c, b]
+
+    def test_endpoints(self):
+        p = Path(length=3.0, nodes=(4, 5, 6))
+        assert p.source == 4
+        assert p.destination == 6
+
+    def test_len_and_iter(self):
+        p = Path(length=3.0, nodes=(4, 5, 6))
+        assert len(p) == 3
+        assert list(p) == [4, 5, 6]
+
+    def test_frozen(self):
+        p = Path(length=1.0, nodes=(0,))
+        try:
+            p.length = 2.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_equality(self):
+        assert Path(1.0, (0, 1)) == Path(1.0, (0, 1))
+        assert Path(1.0, (0, 1)) != Path(1.0, (0, 2))
+
+
+class TestQueryResult:
+    def make(self):
+        paths = [Path(1.0, (0, 1)), Path(2.0, (0, 2))]
+        return QueryResult(paths=paths, algorithm="test")
+
+    def test_lengths(self):
+        assert self.make().lengths == (1.0, 2.0)
+
+    def test_k_found_and_len(self):
+        result = self.make()
+        assert result.k_found == 2
+        assert len(result) == 2
+
+    def test_iter(self):
+        result = self.make()
+        assert [p.length for p in result] == [1.0, 2.0]
+
+    def test_default_stats(self):
+        assert isinstance(self.make().stats, SearchStats)
+
+    def test_empty_result(self):
+        result = QueryResult(paths=[], algorithm="x")
+        assert result.lengths == ()
+        assert result.k_found == 0
+
+    def test_to_dict_json_round_trip(self):
+        import json
+
+        result = self.make()
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["algorithm"] == "test"
+        assert payload["paths"] == [
+            {"length": 1.0, "nodes": [0, 1]},
+            {"length": 2.0, "nodes": [0, 2]},
+        ]
+        assert payload["stats"]["nodes_settled"] == 0
+
+    def test_path_to_dict(self):
+        assert Path(3.5, (1, 2, 3)).to_dict() == {
+            "length": 3.5,
+            "nodes": [1, 2, 3],
+        }

@@ -1,0 +1,93 @@
+"""Unit tests for IterBound-SPT_P (Section 5.2)."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.core.spt_partial import SPTPHeuristic, iter_bound_sptp
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex
+from repro.pathing.spt import PartialSPT
+from tests.conftest import random_graph
+
+
+def run(graph, source, destinations, k, index=None, stats=None):
+    qg = build_query_graph(graph, (source,), destinations)
+    if index is None:
+        tb, sb = ZERO_BOUNDS, ZERO_BOUNDS
+    else:
+        tb = index.to_target_bounds(qg.destinations)
+        sb = index.from_source_bounds(qg.sources)
+    paths = iter_bound_sptp(qg, k, tb, sb, stats=stats)
+    return [(qg.strip(p.nodes), p.length) for p in paths]
+
+
+class TestSPTPHeuristic:
+    def test_tree_hit_returns_exact(self):
+        tree = PartialSPT({5: 7.5}, {}, None)
+        h = SPTPHeuristic(tree, lambda v: 1.0)
+        assert h(5) == 7.5
+
+    def test_tree_miss_falls_back(self):
+        tree = PartialSPT({5: 7.5}, {}, None)
+        h = SPTPHeuristic(tree, lambda v: 1.25)
+        assert h(6) == 1.25
+
+    def test_zero_distance_hit_not_confused_with_miss(self):
+        tree = PartialSPT({5: 0.0}, {}, None)
+        h = SPTPHeuristic(tree, lambda v: 99.0)
+        assert h(5) == 0.0
+
+
+class TestIterBoundSPTP:
+    def test_paper_example(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        hotels = [v("v4"), v("v6"), v("v7")]
+        results = run(paper_graph, v("v1"), hotels, 3)
+        assert [length for _, length in results] == [5.0, 6.0, 7.0]
+
+    def test_matches_brute_force_no_landmarks(self):
+        rng = random.Random(111)
+        for _ in range(20):
+            g = random_graph(rng)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), rng.randint(1, 3))
+            k = rng.randint(1, 6)
+            expected = [p.length for p in brute_force_topk(g, src, dests, k)]
+            got = [length for _, length in run(g, src, dests, k)]
+            assert got == pytest.approx(expected)
+
+    def test_matches_brute_force_with_landmarks(self):
+        rng = random.Random(112)
+        for _ in range(15):
+            g = random_graph(rng, bidirectional=True)
+            index = LandmarkIndex.build(g, 3, seed=4)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), rng.randint(1, 3))
+            k = rng.randint(1, 6)
+            expected = [p.length for p in brute_force_topk(g, src, dests, k)]
+            got = [length for _, length in run(g, src, dests, k, index=index)]
+            assert got == pytest.approx(expected)
+
+    def test_no_path(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        assert run(g, 0, (2,), 3) == []
+
+    def test_partial_tree_size_recorded(self, paper_built, paper_graph):
+        v = paper_built.node_id
+        stats = SearchStats()
+        run(paper_graph, v("v1"), [v("v4"), v("v6"), v("v7")], 1, stats=stats)
+        assert stats.spt_nodes > 0
+
+    def test_partial_tree_smaller_than_graph_when_query_local(self):
+        # Long line, source right next to the destination: SPT_P must
+        # not cover the whole graph (that is DA-SPT's flaw).
+        g = DiGraph.from_edges(
+            50, [(i, i + 1, 1.0) for i in range(49)], bidirectional=True
+        )
+        stats = SearchStats()
+        run(g, 47, (49,), 1, stats=stats)
+        assert stats.spt_nodes < 25

@@ -1,0 +1,43 @@
+"""Unit tests for the SearchStats counters."""
+
+from repro.core.stats import SearchStats
+
+
+class TestSearchStats:
+    def test_defaults_zero(self):
+        stats = SearchStats()
+        assert all(value == 0 for value in stats.as_dict().values())
+
+    def test_merge_adds_fieldwise(self):
+        a = SearchStats(nodes_settled=3, lb_tests=1)
+        b = SearchStats(nodes_settled=4, shortest_path_computations=2)
+        result = a.merge(b)
+        assert result is a
+        assert a.nodes_settled == 7
+        assert a.lb_tests == 1
+        assert a.shortest_path_computations == 2
+
+    def test_merge_chainable(self):
+        total = SearchStats()
+        for _ in range(3):
+            total.merge(SearchStats(edges_relaxed=2))
+        assert total.edges_relaxed == 6
+
+    def test_as_dict_covers_all_fields(self):
+        d = SearchStats().as_dict()
+        assert set(d) == {
+            "shortest_path_computations",
+            "lower_bound_computations",
+            "lb_tests",
+            "lb_test_failures",
+            "nodes_settled",
+            "edges_relaxed",
+            "spt_nodes",
+            "subspaces_created",
+            "subspaces_pruned",
+        }
+
+    def test_mutation(self):
+        stats = SearchStats()
+        stats.nodes_settled += 5
+        assert stats.as_dict()["nodes_settled"] == 5

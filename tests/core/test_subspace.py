@@ -1,0 +1,156 @@
+"""Unit tests for subspaces and their division (Section 4.1).
+
+The load-bearing property is that :func:`divide` produces a
+*partition*: the child subspaces are pairwise disjoint and their union
+plus the removed path equals the parent subspace.  We verify it by
+exhaustively enumerating subspace members on small graphs.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import enumerate_simple_paths
+from repro.core.subspace import Subspace, compute_lower_bound, divide
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+from repro.pathing.dijkstra import constrained_shortest_path
+from tests.conftest import random_graph
+
+
+def members(qg, subspace):
+    """All paths of the subspace, by filtered enumeration on G_Q."""
+    out = set()
+    for path in enumerate_simple_paths(qg.graph, qg.source, (qg.target,)):
+        nodes = path.nodes
+        if len(nodes) < len(subspace.prefix):
+            continue
+        if nodes[: len(subspace.prefix)] != subspace.prefix:
+            continue
+        at = len(subspace.prefix)
+        if at < len(nodes) and nodes[at] in subspace.banned:
+            continue
+        out.add(nodes)
+    return out
+
+
+class TestSubspace:
+    def test_entire_space(self):
+        s = Subspace.entire(7)
+        assert s.prefix == (7,)
+        assert s.banned == frozenset()
+        assert s.prefix_weight == 0.0
+        assert s.head == 7
+        assert s.blocked == ()
+
+    def test_child_at_head(self):
+        s = Subspace((1, 2), frozenset({5}), 3.0)
+        child = s.child_at_head(6)
+        assert child.prefix == (1, 2)
+        assert child.banned == frozenset({5, 6})
+        assert child.prefix_weight == 3.0
+        # Parent unchanged (immutability).
+        assert s.banned == frozenset({5})
+
+
+class TestDivide:
+    def test_division_is_partition(self):
+        rng = random.Random(81)
+        for _ in range(15):
+            g = random_graph(rng, min_nodes=5, max_nodes=8)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), 2)
+            qg = build_query_graph(g, (src,), dests)
+            root = Subspace.entire(qg.source)
+            all_paths = members(qg, root)
+            if not all_paths:
+                continue
+            # The parent's shortest path (any member works for the
+            # partition property — use the true shortest).
+            best = min(all_paths, key=lambda nodes: qg.graph.path_weight(nodes))
+            length = qg.graph.path_weight(best)
+            children = list(divide(root, best, length, qg.graph.edge_weight))
+            child_sets = [members(qg, c) for c in children]
+            # Disjoint...
+            for i in range(len(child_sets)):
+                for j in range(i + 1, len(child_sets)):
+                    assert not (child_sets[i] & child_sets[j])
+            # ...and together with {best} they cover the parent.
+            union = set().union(*child_sets) if child_sets else set()
+            assert union | {best} == all_paths
+            assert best not in union
+
+    def test_child_count_matches_path_interior(self, diamond_graph):
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        root = Subspace.entire(0)
+        path = (0, 1, 3, qg.target)
+        children = list(divide(root, path, 2.0, qg.graph.edge_weight))
+        # One child at the head + one per interior node (1, 3).
+        assert len(children) == 3
+        assert children[0].prefix == (0,) and children[0].banned == {1}
+        assert children[1].prefix == (0, 1) and children[1].banned == {3}
+        assert children[2].prefix == (0, 1, 3) and children[2].banned == {qg.target}
+
+    def test_prefix_weights_accumulate(self, diamond_graph):
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        root = Subspace.entire(0)
+        children = list(divide(root, (0, 2, 3, 4), 3.0, qg.graph.edge_weight))
+        weights = [c.prefix_weight for c in children]
+        assert weights == [0.0, 1.0, 3.0]
+
+    def test_divide_requires_matching_prefix(self, diamond_graph):
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        sub = Subspace((0, 1), frozenset(), 1.0)
+        with pytest.raises(AssertionError):
+            list(divide(sub, (0, 2, 3, 4), 3.0, qg.graph.edge_weight))
+
+
+class TestCompLB:
+    def heuristic(self, qg):
+        """Exact remaining distance on G_Q — the tightest valid bound."""
+        from repro.pathing.dijkstra import single_source_distances
+
+        dist = single_source_distances(qg.reversed_graph(), qg.target)
+
+        def h(v):
+            d = dist[v]
+            return d if d != float("inf") else 0.0
+
+        return h
+
+    def test_lower_bound_is_admissible(self):
+        rng = random.Random(82)
+        for _ in range(15):
+            g = random_graph(rng, min_nodes=6, max_nodes=10)
+            src = rng.randrange(g.n)
+            dests = rng.sample(range(g.n), 2)
+            qg = build_query_graph(g, (src,), dests)
+            h = self.heuristic(qg)
+            sub = Subspace.entire(qg.source)
+            bound = compute_lower_bound(qg.graph.adjacency, sub, h)
+            actual = constrained_shortest_path(qg.graph, qg.source, qg.target)
+            if actual is None:
+                continue
+            assert bound <= actual[1] + 1e-9
+
+    def test_no_valid_edges_gives_inf(self, diamond_graph):
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        sub = Subspace((0,), frozenset({1, 2}), 0.0)
+        assert compute_lower_bound(qg.graph.adjacency, sub, lambda _: 0.0) == float(
+            "inf"
+        )
+
+    def test_banned_and_prefix_edges_skipped(self, diamond_graph):
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        h = self.heuristic(qg)
+        # With edge (0,1) banned, the bound goes through 2: 1 + 2 = 3.
+        sub = Subspace((0,), frozenset({1}), 0.0)
+        assert compute_lower_bound(qg.graph.adjacency, sub, h) == pytest.approx(3.0)
+
+    def test_one_hop_bound_at_least_plain_heuristic(self, diamond_graph):
+        """Alg. 3's bound dominates the naive w(prefix) + h(u)."""
+        qg = build_query_graph(diamond_graph, (0,), (3,))
+        h = self.heuristic(qg)
+        sub = Subspace.entire(0)
+        bound = compute_lower_bound(qg.graph.adjacency, sub, h)
+        assert bound >= h(0) - 1e-9

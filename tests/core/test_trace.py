@@ -1,0 +1,131 @@
+"""Unit tests for search tracing."""
+
+import pytest
+
+from repro.core.iter_bound import iter_bound
+from repro.core.trace import SearchTrace, TraceEvent
+from repro.graph.virtual import build_query_graph
+from repro.landmarks.index import ZERO_BOUNDS
+
+
+class TestTraceEvent:
+    def test_render_contains_fields(self):
+        event = TraceEvent("test-hit", (0, 1), 3.0, tau=4.0, length=3.5)
+        text = event.render()
+        assert "test-hit" in text
+        assert "tau=4" in text
+        assert "length=3.5" in text
+
+    def test_render_optional_fields_omitted(self):
+        text = TraceEvent("output", (0,), 2.0).render()
+        assert "tau=" not in text
+        assert "length=" not in text
+
+
+class TestSearchTrace:
+    def run_traced(self, paper_graph, paper_built, k=3):
+        v = paper_built.node_id
+        qg = build_query_graph(
+            paper_graph, (v("v1"),), (v("v4"), v("v6"), v("v7"))
+        )
+        trace = SearchTrace()
+        paths = iter_bound(qg, k, ZERO_BOUNDS, trace=trace)
+        return trace, paths
+
+    def test_records_one_output_per_path(self, paper_graph, paper_built):
+        trace, paths = self.run_traced(paper_graph, paper_built)
+        assert trace.counts().get("output") == len(paths) == 3
+
+    def test_tau_schedule_is_positive_and_bounded_below_by_first(
+        self, paper_graph, paper_built
+    ):
+        trace, paths = self.run_traced(paper_graph, paper_built)
+        schedule = trace.tau_schedule()
+        assert schedule, "no TestLB recorded"
+        first_length = paths[0].length
+        assert all(tau > first_length for tau in schedule)
+
+    def test_hits_and_misses_sum_to_lb_tests(self, paper_graph, paper_built):
+        from repro.core.stats import SearchStats
+
+        v = paper_built.node_id
+        qg = build_query_graph(
+            paper_graph, (v("v1"),), (v("v4"), v("v6"), v("v7"))
+        )
+        trace = SearchTrace()
+        stats = SearchStats()
+        iter_bound(qg, 3, ZERO_BOUNDS, stats=stats, trace=trace)
+        counts = trace.counts()
+        tested = (
+            counts.get("test-hit", 0)
+            + counts.get("test-miss", 0)
+            + counts.get("retire", 0)
+        )
+        assert tested == stats.lb_tests
+
+    def test_render_limit(self, paper_graph, paper_built):
+        trace, _ = self.run_traced(paper_graph, paper_built)
+        full = trace.render()
+        short = trace.render(limit=1)
+        assert "totals:" in full
+        assert "more events" in short
+        assert len(short.splitlines()) <= 3
+
+    def test_no_trace_means_no_overhead_paths_identical(
+        self, paper_graph, paper_built
+    ):
+        v = paper_built.node_id
+        qg = build_query_graph(
+            paper_graph, (v("v1"),), (v("v4"), v("v6"), v("v7"))
+        )
+        traced = iter_bound(qg, 3, ZERO_BOUNDS, trace=SearchTrace())
+        plain = iter_bound(qg, 3, ZERO_BOUNDS)
+        assert [p.length for p in traced] == [p.length for p in plain]
+
+    def test_len(self, paper_graph, paper_built):
+        trace, _ = self.run_traced(paper_graph, paper_built)
+        assert len(trace) == len(trace.events) > 0
+
+
+class TestExplainCLI:
+    def test_explain_prints_narrative(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "SJ",
+                "--source",
+                "100",
+                "--category",
+                "T2",
+                "--k",
+                "2",
+                "--landmarks",
+                "4",
+                "--limit",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IterBound on SJ" in out
+        assert "totals:" in out
+        assert "found 2 paths" in out
+
+    def test_explain_bad_source(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "SJ",
+                "--source",
+                "123456",
+                "--category",
+                "T2",
+            ]
+        )
+        assert code == 2

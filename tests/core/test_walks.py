@@ -1,0 +1,88 @@
+"""Unit tests for top-k general shortest paths (walks)."""
+
+import random
+
+import pytest
+
+from repro.baselines.yen import yen_ksp
+from repro.core.walks import top_k_walks
+from repro.graph.digraph import DiGraph
+from tests.conftest import random_graph
+
+
+class TestTopKWalks:
+    def test_diamond_two_walks(self, diamond_graph):
+        walks = top_k_walks(diamond_graph, 0, 3, 5)
+        assert [w.length for w in walks] == [2.0, 3.0]
+
+    def test_cycle_generates_infinitely_many(self):
+        # 0 -> 1 -> 0 cycle before the target: lengths 2, 4, 6, ...
+        g = DiGraph.from_edges(
+            3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)]
+        )
+        walks = top_k_walks(g, 0, 2, 4)
+        assert [w.length for w in walks] == [2.0, 4.0, 6.0, 8.0]
+        assert walks[1].nodes == (0, 1, 0, 1, 2)
+
+    def test_walks_lower_bound_simple_paths(self):
+        """The i-th walk is never longer than the i-th simple path."""
+        rng = random.Random(161)
+        for _ in range(20):
+            g = random_graph(rng, bidirectional=True)
+            src, dst = rng.randrange(g.n), rng.randrange(g.n)
+            if src == dst:
+                continue
+            k = rng.randint(1, 6)
+            simple = yen_ksp(g, src, dst, k)
+            walks = top_k_walks(g, src, dst, k)
+            assert len(walks) >= len(simple)
+            for walk, path in zip(walks, simple):
+                assert walk.length <= path.length + 1e-9
+
+    def test_equals_simple_paths_on_dag(self):
+        """On a DAG every walk is simple, so the problems coincide."""
+        rng = random.Random(162)
+        for _ in range(15):
+            n = rng.randint(5, 10)
+            g = DiGraph(n)
+            for u in range(n):
+                for v in range(u + 1, n):  # edges only forward: acyclic
+                    if rng.random() < 0.5:
+                        g.add_edge(u, v, float(rng.randint(1, 9)))
+            g.freeze()
+            k = rng.randint(1, 6)
+            walks = top_k_walks(g, 0, n - 1, k)
+            simple = yen_ksp(g, 0, n - 1, k)
+            assert [w.length for w in walks] == pytest.approx(
+                [p.length for p in simple]
+            )
+
+    def test_lengths_non_decreasing(self):
+        rng = random.Random(163)
+        g = random_graph(rng, bidirectional=True)
+        walks = top_k_walks(g, 0, g.n - 1, 20)
+        lengths = [w.length for w in walks]
+        assert lengths == sorted(lengths)
+
+    def test_walk_weights_verify(self):
+        rng = random.Random(164)
+        g = random_graph(rng, bidirectional=True)
+        for walk in top_k_walks(g, 0, g.n - 1, 10):
+            assert g.path_weight(walk.nodes) == pytest.approx(walk.length)
+            assert walk.nodes[0] == 0
+            assert walk.nodes[-1] == g.n - 1
+
+    def test_unreachable_target(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        assert top_k_walks(g, 0, 2, 3) == []
+
+    def test_k_nonpositive(self, diamond_graph):
+        assert top_k_walks(diamond_graph, 0, 3, 0) == []
+
+    def test_source_equals_target(self):
+        # Walks from a node to itself: the trivial walk plus cycles.
+        g = DiGraph.from_edges(2, [(0, 1, 1.0), (1, 0, 2.0)])
+        walks = top_k_walks(g, 0, 0, 3)
+        assert walks[0].nodes == (0,)
+        assert walks[0].length == 0.0
+        assert walks[1].length == 3.0  # 0 -> 1 -> 0

@@ -1,0 +1,58 @@
+"""Unit tests for the dataset disk cache."""
+
+import pytest
+
+from repro.datasets.cache import cached_road_network, load_dataset, save_dataset
+from repro.datasets.registry import road_network
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.io import save_npz
+
+
+class TestDatasetCache:
+    def test_round_trip(self, tmp_path):
+        original = road_network("SJ")
+        path = tmp_path / "sj.npz"
+        save_dataset(original, path)
+        loaded = load_dataset(path, name="SJ")
+        assert loaded.n == original.n
+        assert loaded.m == original.m
+        assert sorted(loaded.graph.edges()) == sorted(original.graph.edges())
+        for category in ("T1", "T2", "T3", "T4"):
+            assert loaded.categories.nodes_of(category) == (
+                original.categories.nodes_of(category)
+            )
+        assert loaded.coordinates.tolist() == original.coordinates.tolist()
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        original = road_network("SJ")
+        path = tmp_path / "mytown.npz"
+        save_dataset(original, path)
+        assert load_dataset(path).name == "mytown"
+
+    def test_rejects_non_dataset_snapshot(self, tmp_path):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        path = tmp_path / "bare.npz"
+        save_npz(path, g)  # no categories/coordinates
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_cached_road_network_creates_then_reuses(self, tmp_path):
+        first = cached_road_network("SJ", tmp_path)
+        snapshot = tmp_path / "SJ-seed0.npz"
+        assert snapshot.exists()
+        second = cached_road_network("SJ", tmp_path)
+        assert second.n == first.n
+        assert sorted(second.graph.edges()) == sorted(first.graph.edges())
+
+    def test_cached_solver_equivalence(self, tmp_path):
+        """Queries on the cached dataset match the generated one."""
+        from repro.core.kpj import KPJSolver
+
+        generated = road_network("SJ")
+        cached = cached_road_network("SJ", tmp_path)
+        a = KPJSolver(generated.graph, generated.categories, landmarks=4)
+        b = KPJSolver(cached.graph, cached.categories, landmarks=4)
+        ra = a.top_k(100, category="T2", k=5)
+        rb = b.top_k(100, category="T2", k=5)
+        assert ra.lengths == rb.lengths

@@ -1,0 +1,79 @@
+"""Unit tests for POI / category generation."""
+
+import pytest
+
+from repro.datasets.poi import (
+    CAL_FEATURED_CATEGORIES,
+    NESTED_DENSITIES,
+    cal_style_categories,
+    nested_categories,
+)
+from repro.datasets.synthetic import grid_road_network
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _ = grid_road_network(40, 40, seed=0)
+    return g
+
+
+class TestCalStyle:
+    def test_featured_cardinalities(self, graph):
+        index = cal_style_categories(graph, seed=1)
+        for name, size in CAL_FEATURED_CATEGORIES.items():
+            assert index.size(name) == min(size, graph.n)
+
+    def test_sixty_two_categories(self, graph):
+        index = cal_style_categories(graph, seed=1)
+        assert len(index) == 62
+
+    def test_nodes_in_range(self, graph):
+        index = cal_style_categories(graph, seed=2)
+        for name in index:
+            assert all(0 <= v < graph.n for v in index.nodes_of(name))
+
+    def test_deterministic(self, graph):
+        a = cal_style_categories(graph, seed=3)
+        b = cal_style_categories(graph, seed=3)
+        for name in a:
+            assert a.nodes_of(name) == b.nodes_of(name)
+
+    def test_glacier_is_singleton(self, graph):
+        index = cal_style_categories(graph, seed=4)
+        assert index.size("Glacier") == 1
+
+
+class TestNested:
+    def test_nesting_property(self, graph):
+        index = nested_categories(graph, seed=1)
+        names = list(NESTED_DENSITIES)
+        for smaller, larger in zip(names, names[1:]):
+            assert set(index.nodes_of(smaller)) < set(index.nodes_of(larger))
+
+    def test_sizes_match_densities(self, graph):
+        index = nested_categories(graph, seed=2)
+        for name, density in NESTED_DENSITIES.items():
+            expected = max(1, int(round(graph.n * density)))
+            assert abs(index.size(name) - expected) <= 3  # nesting padding
+
+    def test_strictly_growing(self, graph):
+        index = nested_categories(graph, seed=3)
+        sizes = [index.size(name) for name in NESTED_DENSITIES]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_custom_densities(self, graph):
+        index = nested_categories(
+            graph, seed=4, densities={"A": 0.01, "B": 0.02}
+        )
+        assert set(index.nodes_of("A")) < set(index.nodes_of("B"))
+
+    def test_density_too_large_rejected(self, graph):
+        with pytest.raises(DatasetError):
+            nested_categories(graph, densities={"X": 2.0})
+
+    def test_deterministic(self, graph):
+        a = nested_categories(graph, seed=5)
+        b = nested_categories(graph, seed=5)
+        assert a.nodes_of("T4") == b.nodes_of("T4")

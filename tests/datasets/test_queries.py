@@ -1,0 +1,97 @@
+"""Unit tests for the stratified query workloads."""
+
+import pytest
+
+from repro.datasets.queries import (
+    QueryWorkload,
+    distances_to_targets,
+    stratified_sources,
+)
+from repro.datasets.registry import road_network
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def sj():
+    return road_network("SJ")
+
+
+@pytest.fixture(scope="module")
+def workload(sj):
+    return stratified_sources(
+        sj.graph, sj.categories, "T2", per_group=10, seed=1
+    )
+
+
+class TestDistancesToTargets:
+    def test_line(self, line_graph):
+        dist = distances_to_targets(line_graph, (4,))
+        assert dist == [4.0, 3.0, 2.0, 1.0, 0.0]
+
+    def test_respects_direction(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        dist = distances_to_targets(g, (2,))
+        assert dist == [2.0, 1.0, 0.0]
+        assert distances_to_targets(g, (0,)) == [0.0, INF, INF]
+
+
+class TestStratification:
+    def test_five_groups_of_requested_size(self, workload):
+        assert len(workload.groups) == 5
+        for group in workload.groups:
+            assert len(group) == 10
+
+    def test_groups_ordered_by_distance(self, sj, workload):
+        dist = distances_to_targets(sj.graph, workload.destinations)
+        for nearer, farther in zip(workload.groups, workload.groups[1:]):
+            assert max(dist[v] for v in nearer) <= min(dist[v] for v in farther) + 1e-9 or (
+                # Groups are random samples from ordered slices, so only
+                # the slice boundaries are strictly ordered; check means.
+                sum(dist[v] for v in nearer) / len(nearer)
+                < sum(dist[v] for v in farther) / len(farther)
+            )
+
+    def test_sources_can_reach_category(self, sj, workload):
+        dist = distances_to_targets(sj.graph, workload.destinations)
+        for group in workload.groups:
+            assert all(dist[v] < INF for v in group)
+
+    def test_deterministic(self, sj):
+        a = stratified_sources(sj.graph, sj.categories, "T2", per_group=5, seed=2)
+        b = stratified_sources(sj.graph, sj.categories, "T2", per_group=5, seed=2)
+        assert a.groups == b.groups
+
+    def test_group_lookup(self, workload):
+        assert workload.group("Q1") == workload.groups[0]
+        assert workload.group("q3") == workload.groups[2]
+        assert workload.group(5) == workload.groups[4]
+
+    def test_group_lookup_errors(self, workload):
+        with pytest.raises(QueryError):
+            workload.group("Q9")
+        with pytest.raises(QueryError):
+            workload.group("X1")
+        with pytest.raises(QueryError):
+            workload.group(0)
+
+    def test_small_slices_returned_whole(self):
+        g = DiGraph.from_edges(
+            10, [(i, i + 1, 1.0) for i in range(9)], bidirectional=True
+        )
+        from repro.graph.categories import CategoryIndex
+
+        categories = CategoryIndex({"X": [0]})
+        workload = stratified_sources(g, categories, "X", per_group=100, seed=0)
+        total = sum(len(g) for g in workload.groups)
+        assert total == 10  # everything reachable, nothing duplicated
+
+    def test_too_few_reachable_nodes_raises(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        from repro.graph.categories import CategoryIndex
+
+        categories = CategoryIndex({"X": [1]})
+        with pytest.raises(QueryError):
+            stratified_sources(g, categories, "X", num_groups=5)

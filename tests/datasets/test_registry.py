@@ -1,0 +1,61 @@
+"""Unit tests for the dataset registry (small datasets only)."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_GRIDS,
+    PAPER_SIZES,
+    available_datasets,
+    road_network,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_datasets() == ("SJ", "CAL", "SF", "COL", "FLA", "USA")
+
+    def test_paper_sizes_cover_all(self):
+        assert set(PAPER_SIZES) == set(DATASET_GRIDS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            road_network("MARS")
+
+    def test_sj_shape(self):
+        sj = road_network("SJ")
+        assert sj.name == "SJ"
+        rows, cols = DATASET_GRIDS["SJ"]
+        assert 0.8 * rows * cols <= sj.n <= rows * cols
+        assert sj.coordinates.shape == (sj.n, 2)
+
+    def test_case_insensitive(self):
+        assert road_network("sj") is road_network("SJ")
+
+    def test_cached(self):
+        assert road_network("SJ") is road_network("SJ")
+
+    def test_seed_variants_distinct(self):
+        a = road_network("SJ", seed=0)
+        b = road_network("SJ", seed=1)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+    def test_nested_categories_present(self):
+        sj = road_network("SJ")
+        for name in ("T1", "T2", "T3", "T4"):
+            assert name in sj.categories
+
+    def test_cal_has_featured_categories(self):
+        cal = road_network("CAL")
+        for name in ("Glacier", "Lake", "Crater", "Harbor"):
+            assert name in cal.categories
+        assert cal.categories.size("Glacier") == 1
+        assert cal.categories.size("Harbor") == 94
+        # Plus the nested sets.
+        assert "T2" in cal.categories
+
+    def test_relative_ordering_preserved(self):
+        sj = road_network("SJ")
+        cal = road_network("CAL")
+        assert sj.n < cal.n
+        assert sj.m < cal.m

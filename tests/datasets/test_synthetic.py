@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic road-network generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    grid_road_network,
+    largest_connected_component,
+    radial_road_network,
+)
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.pathing.dijkstra import single_source_distances
+
+INF = float("inf")
+
+
+class TestGridRoadNetwork:
+    def test_size_roughly_rows_times_cols(self):
+        g, coords = grid_road_network(10, 12, seed=1)
+        assert 0.8 * 120 <= g.n <= 120
+        assert len(coords) == g.n
+
+    def test_connected(self):
+        g, _ = grid_road_network(15, 15, seed=2)
+        dist = single_source_distances(g, 0)
+        assert all(d < INF for d in dist)
+
+    def test_bidirectional(self):
+        g, _ = grid_road_network(8, 8, seed=3)
+        for u, v, w in g.edges():
+            assert g.edge_weight(v, u) == w
+
+    def test_weights_are_euclidean_scale(self):
+        g, _ = grid_road_network(8, 8, seed=4)
+        for _, _, w in g.edges():
+            assert 0.0 < w < 3.0  # neighbouring jittered grid points
+
+    def test_deterministic_in_seed(self):
+        a, ca = grid_road_network(6, 6, seed=5)
+        b, cb = grid_road_network(6, 6, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert ca.tolist() == cb.tolist()
+
+    def test_different_seeds_differ(self):
+        a, _ = grid_road_network(6, 6, seed=1)
+        b, _ = grid_road_network(6, 6, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_low_degree(self):
+        g, _ = grid_road_network(12, 12, seed=6)
+        max_degree = max(g.out_degree(u) for u in range(g.n))
+        assert max_degree <= 8  # road junction, not a hub
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            grid_road_network(1, 5)
+
+    def test_no_removal_keeps_full_grid(self):
+        g, _ = grid_road_network(5, 5, seed=7, removal_prob=0.0, diagonal_prob=0.0)
+        assert g.n == 25
+        assert g.m == 2 * (2 * 5 * 4)  # 40 undirected grid edges
+
+
+class TestRadialRoadNetwork:
+    def test_size(self):
+        g, coords = radial_road_network(5, 12, seed=1)
+        assert g.n <= 1 + 5 * 12
+        assert len(coords) == g.n
+
+    def test_connected(self):
+        g, _ = radial_road_network(4, 10, seed=2)
+        dist = single_source_distances(g, 0)
+        assert all(d < INF for d in dist)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            radial_road_network(0, 10)
+        with pytest.raises(DatasetError):
+            radial_road_network(3, 2)
+
+    def test_deterministic(self):
+        a, _ = radial_road_network(3, 8, seed=9)
+        b, _ = radial_road_network(3, 8, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestLargestComponent:
+    def test_keeps_biggest_and_relabels(self):
+        import numpy as np
+
+        g = DiGraph(6)
+        # Component A: 0-1-2 (size 3); component B: 3-4 (size 2); 5 isolated.
+        g.add_bidirectional_edge(0, 1, 1.0)
+        g.add_bidirectional_edge(1, 2, 1.0)
+        g.add_bidirectional_edge(3, 4, 1.0)
+        g.freeze()
+        coords = np.arange(12, dtype=float).reshape(6, 2)
+        out, out_coords = largest_connected_component(g, coords)
+        assert out.n == 3
+        assert out.m == 4
+        assert out_coords.tolist() == coords[:3].tolist()
+
+    def test_already_connected_is_isomorphic(self):
+        import numpy as np
+
+        g = DiGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], bidirectional=True
+        )
+        out, _ = largest_connected_component(g, np.zeros((4, 2)))
+        assert out.n == 4
+        assert out.m == g.m

@@ -1,0 +1,103 @@
+"""Unit tests for weight-variant transforms."""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.core.kpj import ALGORITHMS, KPJSolver
+from repro.datasets.synthetic import grid_road_network
+from repro.datasets.weights import (
+    reweighted,
+    tolled_weights,
+    travel_time_weights,
+    unit_weights,
+)
+from repro.graph.categories import CategoryIndex
+
+
+@pytest.fixture(scope="module")
+def road():
+    g, _ = grid_road_network(8, 8, seed=9)
+    return g
+
+
+class TestTransforms:
+    def test_topology_preserved(self, road):
+        for transform in (
+            unit_weights,
+            lambda g: travel_time_weights(g, seed=1),
+            lambda g: tolled_weights(g, toll=5.0, seed=1),
+        ):
+            out = transform(road)
+            assert out.n == road.n
+            assert out.m == road.m
+            assert [v for v, _ in out.out_edges(0)] == [
+                v for v, _ in road.out_edges(0)
+            ]
+
+    def test_unit_weights(self, road):
+        out = unit_weights(road)
+        assert all(w == 1.0 for _, _, w in out.edges())
+
+    def test_travel_time_symmetric_per_road(self, road):
+        out = travel_time_weights(road, seed=2)
+        for u, v, w in out.edges():
+            assert out.edge_weight(v, u) == pytest.approx(w)
+
+    def test_travel_time_deterministic(self, road):
+        a = travel_time_weights(road, seed=3)
+        b = travel_time_weights(road, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+        c = travel_time_weights(road, seed=4)
+        assert sorted(a.edges()) != sorted(c.edges())
+
+    def test_travel_time_scales_by_speed(self, road):
+        out = travel_time_weights(road, seed=5, speed_classes=(0.5, 1.0, 2.0))
+        for u, v, w in road.edges():
+            speed = w / out.edge_weight(u, v)
+            assert min(abs(speed - s) for s in (0.5, 1.0, 2.0)) < 1e-9
+
+    def test_tolled_adds_toll_to_subset(self, road):
+        out = tolled_weights(road, toll=100.0, tolled_fraction=0.3, seed=6)
+        tolled = sum(
+            1
+            for u, v, w in road.edges()
+            if out.edge_weight(u, v) == pytest.approx(w + 100.0)
+        )
+        untolled = sum(
+            1
+            for u, v, w in road.edges()
+            if out.edge_weight(u, v) == pytest.approx(w)
+        )
+        assert tolled + untolled == road.m
+        assert 0 < tolled < road.m
+
+    def test_negative_toll_rejected(self, road):
+        with pytest.raises(ValueError):
+            tolled_weights(road, toll=-1.0)
+
+    def test_reweighted_generic(self, road):
+        out = reweighted(road, lambda u, v, w: 2.0 * w)
+        for u, v, w in road.edges():
+            assert out.edge_weight(u, v) == pytest.approx(2.0 * w)
+
+
+class TestAlgorithmsAreWeightAgnostic:
+    @pytest.mark.parametrize(
+        "transform",
+        [unit_weights, lambda g: travel_time_weights(g, seed=7)],
+        ids=["unit", "travel-time"],
+    )
+    def test_all_algorithms_correct_under_transform(self, transform):
+        g, _ = grid_road_network(4, 4, seed=11)
+        reweighted_graph = transform(g)
+        destinations = (reweighted_graph.n - 1, reweighted_graph.n // 2)
+        expected = [
+            round(p.length, 9)
+            for p in brute_force_topk(reweighted_graph, 0, destinations, 5)
+        ]
+        solver = KPJSolver(
+            reweighted_graph, CategoryIndex({"T": destinations}), landmarks=3
+        )
+        for algorithm in ALGORITHMS:
+            result = solver.top_k(0, category="T", k=5, algorithm=algorithm)
+            assert [round(x, 9) for x in result.lengths] == expected, algorithm

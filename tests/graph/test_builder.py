@@ -1,0 +1,69 @@
+"""Unit tests for the labelled graph builder."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_labels_are_interned_in_order(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", 1.0)
+        b.add_edge("y", "z", 2.0)
+        built = b.build()
+        assert built.labels == ["x", "y", "z"]
+        assert built.node_id("z") == 2
+
+    def test_duplicate_labels_reuse_ids(self):
+        b = GraphBuilder()
+        assert b.node("a") == b.node("a") == 0
+        assert b.num_nodes == 1
+
+    def test_build_produces_frozen_graph(self):
+        b = GraphBuilder()
+        b.add_edge(1, 2, 1.0)
+        built = b.build()
+        assert built.graph.frozen
+        assert built.graph.m == 1
+
+    def test_bidirectional_builder(self):
+        b = GraphBuilder(bidirectional=True)
+        b.add_edge("a", "b", 5.0)
+        built = b.build()
+        assert built.graph.m == 2
+        assert built.graph.edge_weight(built.node_id("b"), built.node_id("a")) == 5.0
+
+    def test_add_node_creates_isolated_node(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b", 1.0)
+        b.add_node("island")
+        built = b.build()
+        assert built.graph.n == 3
+        assert built.graph.out_degree(built.node_id("island")) == 0
+
+    def test_unknown_label_raises(self):
+        built = GraphBuilder().build()
+        with pytest.raises(GraphError):
+            built.node_id("nope")
+
+    def test_num_edges_tracks_additions(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b", 1.0)
+        b.add_edge("b", "c", 1.0)
+        assert b.num_edges == 2
+
+    def test_arbitrary_hashable_labels(self):
+        b = GraphBuilder()
+        b.add_edge((1, 2), frozenset({3}), 1.0)
+        built = b.build()
+        assert built.node_id((1, 2)) == 0
+        assert built.node_id(frozenset({3})) == 1
+
+    def test_index_is_consistent_with_labels(self):
+        b = GraphBuilder()
+        for pair in [("a", "b"), ("c", "a"), ("b", "c")]:
+            b.add_edge(*pair, 1.0)
+        built = b.build()
+        for node_id, label in enumerate(built.labels):
+            assert built.index[label] == node_id

@@ -1,0 +1,66 @@
+"""Unit tests for the category (POI) inverted index."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.categories import CategoryIndex
+
+
+@pytest.fixture
+def index():
+    return CategoryIndex({"Hotel": [5, 2, 8], "Fuel": [2], "Park": [9, 9, 1]})
+
+
+class TestLookups:
+    def test_nodes_sorted_and_deduped(self, index):
+        assert index.nodes_of("Hotel") == (2, 5, 8)
+        assert index.nodes_of("Park") == (1, 9)
+
+    def test_node_set_membership(self, index):
+        assert 5 in index.node_set("Hotel")
+        assert 3 not in index.node_set("Hotel")
+
+    def test_unknown_category_raises(self, index):
+        with pytest.raises(QueryError):
+            index.nodes_of("Restaurant")
+
+    def test_empty_category_raises(self):
+        index = CategoryIndex({"Empty": []})
+        with pytest.raises(QueryError):
+            index.nodes_of("Empty")
+        assert index.has_category("Empty")
+
+    def test_union(self, index):
+        assert index.union(["Hotel", "Fuel"]) == (2, 5, 8)
+        assert index.union(["Fuel", "Park"]) == (1, 2, 9)
+
+    def test_categories_of_node(self, index):
+        assert index.categories_of(2) == ("Fuel", "Hotel")
+        assert index.categories_of(42) == ()
+
+    def test_size(self, index):
+        assert index.size("Hotel") == 3
+        assert index.size("Fuel") == 1
+
+    def test_contains_and_iter(self, index):
+        assert "Hotel" in index
+        assert "Nope" not in index
+        assert list(index) == ["Fuel", "Hotel", "Park"]
+        assert len(index) == 3
+
+
+class TestConstruction:
+    def test_from_node_labels(self):
+        index = CategoryIndex.from_node_labels({0: ["A"], 1: ["A", "B"], 2: []})
+        assert index.nodes_of("A") == (0, 1)
+        assert index.nodes_of("B") == (1,)
+
+    def test_merged_with(self):
+        a = CategoryIndex({"X": [1], "Y": [2]})
+        b = CategoryIndex({"Y": [3], "Z": [4]})
+        merged = a.merged_with(b)
+        assert merged.nodes_of("X") == (1,)
+        assert merged.nodes_of("Y") == (2, 3)
+        assert merged.nodes_of("Z") == (4,)
+        # Originals are untouched.
+        assert a.nodes_of("Y") == (2,)

@@ -1,0 +1,117 @@
+"""Unit tests for SCC computation (cross-checked against networkx)."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.components import (
+    is_strongly_connected,
+    largest_strongly_connected_subgraph,
+    strongly_connected_components,
+)
+from repro.graph.digraph import DiGraph
+from tests.conftest import random_graph
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from((u, v) for u, v, _ in graph.edges())
+    return g
+
+
+class TestSCC:
+    def test_single_cycle(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        assert strongly_connected_components(g) == [[0, 1, 2]]
+        assert is_strongly_connected(g)
+
+    def test_dag_gives_singletons(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        components = strongly_connected_components(g)
+        assert sorted(map(tuple, components)) == [(0,), (1,), (2,)]
+        assert not is_strongly_connected(g)
+
+    def test_two_cycles_with_bridge(self):
+        g = DiGraph.from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),  # bridge
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 2, 1.0),
+                (5, 0, 1.0),  # tail into the first cycle
+            ],
+        )
+        components = {tuple(c) for c in strongly_connected_components(g)}
+        assert components == {(0, 1), (2, 3, 4), (5,)}
+
+    def test_empty_and_singleton(self):
+        assert strongly_connected_components(DiGraph(0).freeze()) == []
+        assert is_strongly_connected(DiGraph(0).freeze())
+        assert strongly_connected_components(DiGraph(1).freeze()) == [[0]]
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(201)
+        for _ in range(30):
+            g = random_graph(rng, min_nodes=5, max_nodes=20)
+            ours = {tuple(c) for c in strongly_connected_components(g)}
+            theirs = {
+                tuple(sorted(c))
+                for c in nx.strongly_connected_components(to_networkx(g))
+            }
+            assert ours == theirs
+
+    def test_deep_path_no_recursion_limit(self):
+        """A 50k-node path would blow a recursive Tarjan's stack."""
+        n = 50_000
+        g = DiGraph.from_edges(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        components = strongly_connected_components(g)
+        assert len(components) == n
+
+
+class TestLargestSubgraph:
+    def test_extracts_biggest_scc(self):
+        g = DiGraph.from_edges(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 2.0),
+                (3, 4, 1.0),  # small acyclic side
+            ],
+        )
+        sub, _, kept = largest_strongly_connected_subgraph(g)
+        assert kept == [0, 1, 2]
+        assert sub.n == 3
+        assert sub.m == 3
+        assert is_strongly_connected(sub)
+        assert sub.edge_weight(2, 0) == 2.0
+
+    def test_coordinates_filtered(self):
+        g = DiGraph.from_edges(4, [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0)])
+        coords = np.arange(8, dtype=float).reshape(4, 2)
+        _, kept_coords, kept = largest_strongly_connected_subgraph(g, coords)
+        assert kept == [0, 1]
+        assert kept_coords.tolist() == coords[:2].tolist()
+
+    def test_empty_graph(self):
+        sub, coords, kept = largest_strongly_connected_subgraph(DiGraph(0).freeze())
+        assert sub.n == 0
+        assert kept == []
+
+    def test_queries_work_on_extracted_subgraph(self):
+        rng = random.Random(202)
+        g = random_graph(rng, min_nodes=10, max_nodes=20)
+        sub, _, kept = largest_strongly_connected_subgraph(g)
+        if sub.n < 3:
+            pytest.skip("degenerate SCC for this seed")
+        from repro.core.kpj import KPJSolver
+
+        solver = KPJSolver(sub, landmarks=None)
+        result = solver.top_k(0, destinations=[sub.n - 1], k=3)
+        assert result.k_found >= 1  # strongly connected: must reach it

@@ -1,0 +1,55 @@
+"""Unit tests for the CSR snapshot."""
+
+import numpy as np
+
+from repro.graph.csr import to_csr
+from repro.graph.digraph import DiGraph
+
+
+def make_graph():
+    return DiGraph.from_edges(
+        4, [(0, 1, 1.0), (0, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)]
+    )
+
+
+class TestCSR:
+    def test_shapes(self):
+        csr = to_csr(make_graph())
+        assert csr.n == 4
+        assert csr.m == 4
+        assert len(csr.indptr) == 5
+        assert len(csr.indices) == len(csr.weights) == 4
+
+    def test_neighbors_and_weights(self):
+        csr = to_csr(make_graph())
+        assert list(csr.neighbors(0)) == [1, 2]
+        assert list(csr.edge_weights(0)) == [1.0, 2.0]
+        assert list(csr.neighbors(1)) == []
+
+    def test_out_degrees(self):
+        csr = to_csr(make_graph())
+        assert list(csr.out_degrees()) == [2, 0, 1, 1]
+
+    def test_degree_histogram(self):
+        csr = to_csr(make_graph())
+        assert csr.degree_histogram() == {0: 1, 1: 2, 2: 1}
+
+    def test_empty_graph(self):
+        csr = to_csr(DiGraph(3).freeze())
+        assert csr.n == 3
+        assert csr.m == 0
+        assert list(csr.out_degrees()) == [0, 0, 0]
+
+    def test_round_trip_matches_adjacency(self):
+        g = make_graph()
+        csr = to_csr(g)
+        for u in range(g.n):
+            expected = g.out_edges(u)
+            got = list(zip(csr.neighbors(u), csr.edge_weights(u)))
+            assert [(int(v), float(w)) for v, w in got] == list(expected)
+
+    def test_dtypes(self):
+        csr = to_csr(make_graph())
+        assert csr.indptr.dtype == np.int64
+        assert csr.indices.dtype == np.int64
+        assert csr.weights.dtype == np.float64

@@ -1,0 +1,201 @@
+"""Unit tests for the core DiGraph container."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph, ReversedView
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph(0)
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(-1)
+
+    def test_add_edge_counts(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        assert g.m == 2
+
+    def test_add_bidirectional_edge(self):
+        g = DiGraph(2)
+        g.add_bidirectional_edge(0, 1, 3.0)
+        g.freeze()
+        assert g.edge_weight(0, 1) == 3.0
+        assert g.edge_weight(1, 0) == 3.0
+
+    def test_self_loop_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -0.5)
+
+    def test_nan_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, float("nan"))
+
+    def test_infinite_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, float("inf"))
+
+    def test_zero_weight_allowed(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 0.0)
+        assert g.m == 1
+
+    def test_out_of_range_node_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 2, 1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(-1, 0, 1.0)
+
+    def test_from_edges(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.frozen
+        assert g.m == 2
+
+    def test_from_edges_bidirectional(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)], bidirectional=True)
+        assert g.m == 2
+        assert g.has_edge(1, 0)
+
+
+class TestFreeze:
+    def test_freeze_is_idempotent(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)
+        assert g.freeze() is g
+        assert g.freeze() is g
+
+    def test_frozen_graph_rejects_mutation(self):
+        g = DiGraph(2).freeze()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 1.0)
+
+    def test_parallel_edges_collapse_to_minimum(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 7.0)
+        g.freeze()
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_freeze_sorts_adjacency(self):
+        g = DiGraph(4)
+        g.add_edge(0, 3, 1.0)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.freeze()
+        assert [v for v, _ in g.out_edges(0)] == [1, 2, 3]
+
+    def test_max_edge_weight_tracked(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 4.0)
+        g.add_edge(1, 2, 9.0)
+        assert g.max_edge_weight == 9.0
+
+    def test_max_edge_weight_empty(self):
+        assert DiGraph(3).max_edge_weight == 0.0
+
+
+class TestInspection:
+    def test_out_edges_and_degree(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (0, 2, 2.0)])
+        assert g.out_degree(0) == 2
+        assert g.out_degree(1) == 0
+        assert dict(g.out_edges(0)) == {1: 1.0, 2: 2.0}
+
+    def test_in_edges(self):
+        g = DiGraph.from_edges(3, [(0, 2, 1.0), (1, 2, 2.0)])
+        assert sorted(g.in_edges(2)) == [(0, 1.0), (1, 2.0)]
+        assert g.in_edges(0) == []
+
+    def test_edge_weight_missing_raises(self):
+        g = DiGraph.from_edges(2, [(0, 1, 1.0)])
+        with pytest.raises(GraphError):
+            g.edge_weight(1, 0)
+
+    def test_has_edge(self):
+        g = DiGraph.from_edges(2, [(0, 1, 1.0)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edges_iterates_all(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]
+        g = DiGraph.from_edges(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_nodes_range(self):
+        assert list(DiGraph(3).nodes()) == [0, 1, 2]
+
+    def test_path_weight(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        assert g.path_weight((0, 1, 2)) == 4.0
+        assert g.path_weight((0,)) == 0.0
+
+    def test_path_weight_invalid_hop_raises(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        with pytest.raises(GraphError):
+            g.path_weight((0, 2))
+
+    def test_is_simple_path(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        assert g.is_simple_path((0, 1, 2))
+        assert not g.is_simple_path((0, 1, 2, 0))  # revisits 0
+        assert not g.is_simple_path((0, 2))  # no such edge
+        assert not g.is_simple_path(())
+
+
+class TestReverse:
+    def test_reverse_adjacency(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (2, 1, 2.0)])
+        radj = g.reverse_adjacency()
+        assert sorted(radj[1]) == [(0, 1.0), (2, 2.0)]
+        assert radj[0] == []
+
+    def test_reversed_copy(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        rg = g.reversed_copy()
+        assert rg.has_edge(1, 0)
+        assert rg.has_edge(2, 1)
+        assert rg.m == 2
+        assert not rg.has_edge(0, 1)
+
+    def test_reversed_view_adjacency(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        view = ReversedView(g)
+        assert view.n == 3
+        assert view.m == 2
+        assert view.adjacency[1] == [(0, 1.5)]
+        assert view.edge_weight(2, 1) == 2.5
+        assert view.reverse_adjacency() is g.adjacency
+        assert view.max_edge_weight == g.max_edge_weight
+        assert view.out_edges(2) == [(1, 2.5)]
+
+    def test_reversed_view_requires_frozen(self):
+        with pytest.raises(GraphError):
+            ReversedView(DiGraph(2))
+
+
+class TestSharedRows:
+    def test_from_shared_rows_shares_references(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        rows = list(g.adjacency) + [[]]
+        g2 = DiGraph.from_shared_rows(rows, g.m, g.max_edge_weight)
+        assert g2.n == 4
+        assert g2.adjacency[0] is g.adjacency[0]
+        assert g2.frozen
+        assert g2.edge_weight(1, 2) == 2.0

@@ -1,0 +1,144 @@
+"""Unit tests for graph/POI file formats."""
+
+import io
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    load_dimacs_coordinates,
+    load_dimacs_gr,
+    load_edge_list,
+    load_npz,
+    load_poi_file,
+    save_npz,
+    write_dimacs_gr,
+    write_edge_list,
+)
+
+DIMACS_GR = """c example graph
+p sp 3 3
+a 1 2 5
+a 2 3 7
+a 3 1 2
+"""
+
+DIMACS_CO = """c coordinates
+p aux sp co 3
+v 1 100 200
+v 2 300 400
+v 3 500 600
+"""
+
+
+class TestDimacs:
+    def test_load_gr(self):
+        g = load_dimacs_gr(io.StringIO(DIMACS_GR))
+        assert g.n == 3
+        assert g.m == 3
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.edge_weight(2, 0) == 2.0
+
+    def test_gr_round_trip(self):
+        g = load_dimacs_gr(io.StringIO(DIMACS_GR))
+        buf = io.StringIO()
+        write_dimacs_gr(g, buf)
+        g2 = load_dimacs_gr(io.StringIO(buf.getvalue()))
+        assert sorted(g.edges()) == sorted(g2.edges())
+
+    def test_gr_file_path(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text(DIMACS_GR)
+        g = load_dimacs_gr(path)
+        assert g.n == 3
+
+    def test_gr_arc_before_problem_line(self):
+        with pytest.raises(DatasetError):
+            load_dimacs_gr(io.StringIO("a 1 2 3\n"))
+
+    def test_gr_unknown_record(self):
+        with pytest.raises(DatasetError):
+            load_dimacs_gr(io.StringIO("p sp 2 1\nz 1 2\n"))
+
+    def test_gr_empty(self):
+        with pytest.raises(DatasetError):
+            load_dimacs_gr(io.StringIO("c nothing\n"))
+
+    def test_load_coordinates(self):
+        coords = load_dimacs_coordinates(io.StringIO(DIMACS_CO))
+        assert coords.shape == (3, 2)
+        assert coords[1, 0] == 300.0
+        assert coords[2, 1] == 600.0
+
+
+class TestEdgeList:
+    def test_load_basic(self):
+        g = load_edge_list(io.StringIO("0 1 2.5\n1 2 3.5\n"))
+        assert g.n == 3
+        assert g.edge_weight(1, 2) == 3.5
+
+    def test_default_weight_one(self):
+        g = load_edge_list(io.StringIO("0 1\n"))
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_comments_and_blank_lines_skipped(self):
+        g = load_edge_list(io.StringIO("# header\n\n0 1 1\n"))
+        assert g.m == 1
+
+    def test_bidirectional_flag(self):
+        g = load_edge_list(io.StringIO("0 1 4\n"), bidirectional=True)
+        assert g.m == 2
+
+    def test_bad_line_raises(self):
+        with pytest.raises(DatasetError):
+            load_edge_list(io.StringIO("justonefield\n"))
+
+    def test_empty_raises(self):
+        with pytest.raises(DatasetError):
+            load_edge_list(io.StringIO(""))
+
+    def test_round_trip(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.5), (2, 1, 2.0)])
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        g2 = load_edge_list(io.StringIO(buf.getvalue()))
+        assert sorted(g.edges()) == sorted(g2.edges())
+
+
+class TestPoiFile:
+    def test_load(self):
+        index = load_poi_file(io.StringIO("0 Hotel\n3 Hotel\n2 Gas Station\n"))
+        assert index.nodes_of("Hotel") == (0, 3)
+        assert index.nodes_of("Gas Station") == (2,)
+
+    def test_bad_line_raises(self):
+        with pytest.raises(DatasetError):
+            load_poi_file(io.StringIO("42\n"))
+
+
+class TestNpz:
+    def test_round_trip_graph_only(self, tmp_path):
+        g = DiGraph.from_edges(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        path = tmp_path / "snap.npz"
+        save_npz(path, g)
+        g2, cats, coords = load_npz(path)
+        assert sorted(g2.edges()) == sorted(g.edges())
+        assert cats is None
+        assert coords is None
+
+    def test_round_trip_with_categories_and_coords(self, tmp_path):
+        import numpy as np
+
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        cats = CategoryIndex({"A": [0, 2], "B": [1]})
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        path = tmp_path / "snap.npz"
+        save_npz(path, g, categories=cats, coordinates=coords)
+        g2, cats2, coords2 = load_npz(path)
+        assert cats2 is not None
+        assert cats2.nodes_of("A") == (0, 2)
+        assert cats2.nodes_of("B") == (1,)
+        assert coords2 is not None
+        assert coords2.tolist() == coords.tolist()

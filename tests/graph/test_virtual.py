@@ -1,0 +1,102 @@
+"""Unit tests for the G_Q virtual-node query transform."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+
+
+@pytest.fixture
+def graph():
+    return DiGraph.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 10.0)]
+    )
+
+
+class TestKPJTransform:
+    def test_virtual_target_added(self, graph):
+        qg = build_query_graph(graph, (0,), (2, 3))
+        assert qg.target == 4
+        assert qg.graph.n == 5
+        assert qg.graph.m == graph.m + 2
+        assert qg.graph.edge_weight(2, 4) == 0.0
+        assert qg.graph.edge_weight(3, 4) == 0.0
+
+    def test_single_source_is_not_virtual(self, graph):
+        qg = build_query_graph(graph, (0,), (3,))
+        assert qg.source == 0
+        assert not qg.has_virtual_source
+
+    def test_rows_shared_with_base(self, graph):
+        qg = build_query_graph(graph, (0,), (3,))
+        # Non-destination rows are the very same list objects.
+        assert qg.graph.adjacency[0] is graph.adjacency[0]
+        assert qg.graph.adjacency[1] is graph.adjacency[1]
+        # The destination row is a patched copy, base row untouched.
+        assert qg.graph.adjacency[3] == graph.adjacency[3] + [(4, 0.0)]
+        assert (4, 0.0) not in graph.adjacency[3]
+
+    def test_reverse_rows_correct(self, graph):
+        qg = build_query_graph(graph, (0,), (2, 3))
+        radj = qg.graph.reverse_adjacency()
+        assert radj[4] == [(2, 0.0), (3, 0.0)]
+        assert sorted(radj[3]) == [(0, 10.0), (2, 3.0)]
+
+    def test_destinations_sorted_deduped(self, graph):
+        qg = build_query_graph(graph, (0,), (3, 2, 3))
+        assert qg.destinations == (2, 3)
+
+    def test_strip_removes_virtual_target(self, graph):
+        qg = build_query_graph(graph, (0,), (3,))
+        assert qg.strip((0, 1, 2, 3, 4)) == (0, 1, 2, 3)
+        assert qg.strip((0, 3)) == (0, 3)
+
+
+class TestGKPJTransform:
+    def test_virtual_source_added(self, graph):
+        qg = build_query_graph(graph, (0, 1), (3,))
+        assert qg.has_virtual_source
+        assert qg.source == 5
+        assert qg.graph.n == 6
+        assert qg.graph.edge_weight(5, 0) == 0.0
+        assert qg.graph.edge_weight(5, 1) == 0.0
+
+    def test_strip_removes_both_virtual_ends(self, graph):
+        qg = build_query_graph(graph, (0, 1), (3,))
+        assert qg.strip((5, 1, 2, 3, 4)) == (1, 2, 3)
+
+    def test_gkpj_reverse_rows(self, graph):
+        qg = build_query_graph(graph, (0, 1), (3,))
+        radj = qg.graph.reverse_adjacency()
+        assert (5, 0.0) in radj[0]
+        assert (5, 0.0) in radj[1]
+        assert radj[5] == []
+
+
+class TestValidation:
+    def test_empty_sources_rejected(self, graph):
+        with pytest.raises(QueryError):
+            build_query_graph(graph, (), (3,))
+
+    def test_empty_destinations_rejected(self, graph):
+        with pytest.raises(QueryError):
+            build_query_graph(graph, (0,), ())
+
+    def test_out_of_range_rejected(self, graph):
+        with pytest.raises(QueryError):
+            build_query_graph(graph, (0,), (99,))
+        with pytest.raises(QueryError):
+            build_query_graph(graph, (-1,), (3,))
+
+    def test_unfrozen_graph_rejected(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(QueryError):
+            build_query_graph(g, (0,), (1,))
+
+    def test_reversed_graph_view(self, graph):
+        qg = build_query_graph(graph, (0,), (3,))
+        rv = qg.reversed_graph()
+        assert rv.adjacency[4] == [(3, 0.0)]
+        assert rv.edge_weight(4, 3) == 0.0

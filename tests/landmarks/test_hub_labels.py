@@ -1,0 +1,128 @@
+"""Unit tests for the 2-hop / hub-label index."""
+
+import random
+
+import pytest
+
+from repro.core.best_first import best_first
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+from repro.landmarks.hub_labels import HubLabelIndex, exact_target_heuristic
+from repro.landmarks.index import ZERO_BOUNDS
+from repro.pathing.dijkstra import single_source_distances
+from tests.conftest import random_graph
+
+INF = float("inf")
+
+
+class TestExactness:
+    def test_all_pairs_exact_random_digraphs(self):
+        rng = random.Random(191)
+        for _ in range(15):
+            g = random_graph(rng, min_nodes=5, max_nodes=12)
+            index = HubLabelIndex.build(g)
+            for u in range(g.n):
+                dist = single_source_distances(g, u)
+                for v in range(g.n):
+                    assert index.query(u, v) == pytest.approx(dist[v]) or (
+                        dist[v] == INF and index.query(u, v) == INF
+                    )
+
+    def test_all_pairs_exact_road_like(self):
+        from repro.datasets.synthetic import grid_road_network
+
+        g, _ = grid_road_network(6, 6, seed=3)
+        index = HubLabelIndex.build(g)
+        for u in range(0, g.n, 3):
+            dist = single_source_distances(g, u)
+            for v in range(g.n):
+                assert index.query(u, v) == pytest.approx(dist[v])
+
+    def test_unreachable_is_inf(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        index = HubLabelIndex.build(g)
+        assert index.query(0, 2) == INF
+        assert index.query(1, 0) == INF
+
+    def test_self_distance_zero(self, diamond_graph):
+        index = HubLabelIndex.build(diamond_graph)
+        for v in range(diamond_graph.n):
+            assert index.query(v, v) == 0.0
+
+    def test_directionality(self):
+        g = DiGraph.from_edges(2, [(0, 1, 3.0)])
+        index = HubLabelIndex.build(g)
+        assert index.query(0, 1) == 3.0
+        assert index.query(1, 0) == INF
+
+
+class TestDistanceToSet:
+    def test_min_over_targets(self, line_graph):
+        index = HubLabelIndex.build(line_graph)
+        assert index.distance_to_set(0, (2, 4)) == 2.0
+        assert index.distance_to_set(3, (0, 4)) == 1.0
+
+    def test_matches_multi_source_reverse(self):
+        rng = random.Random(192)
+        from repro.pathing.dijkstra import multi_source_distances
+
+        g = random_graph(rng, min_nodes=8, max_nodes=12, bidirectional=True)
+        index = HubLabelIndex.build(g)
+        targets = rng.sample(range(g.n), 3)
+        true = multi_source_distances(g.reversed_copy(), targets)
+        for u in range(g.n):
+            assert index.distance_to_set(u, targets) == pytest.approx(true[u])
+
+
+class TestLabelStatistics:
+    def test_sizes_reported(self, diamond_graph):
+        index = HubLabelIndex.build(diamond_graph)
+        mean, largest = index.label_sizes()
+        assert 1 <= mean <= 2 * diamond_graph.n
+        assert largest >= mean
+
+    def test_pruning_beats_naive_on_road_graph(self):
+        """Labels must stay far below n entries per node."""
+        from repro.datasets.synthetic import grid_road_network
+
+        g, _ = grid_road_network(10, 10, seed=1)
+        index = HubLabelIndex.build(g)
+        mean, _ = index.label_sizes()
+        assert mean < g.n / 2
+
+
+class TestExactHeuristicInSearch:
+    def test_ksp_with_exact_heuristic_matches_zero_heuristic(self):
+        rng = random.Random(193)
+        for _ in range(10):
+            g = random_graph(rng, bidirectional=True)
+            index = HubLabelIndex.build(g)
+            src, dst = rng.randrange(g.n), rng.randrange(g.n)
+            if src == dst:
+                continue
+            qg = build_query_graph(g, (src,), (dst,))
+            h = exact_target_heuristic(index, dst)
+            exact = best_first(qg, 5, h)
+            plain = best_first(qg, 5, ZERO_BOUNDS)
+            assert [p.length for p in exact] == pytest.approx(
+                [p.length for p in plain]
+            )
+
+    def test_exact_heuristic_explores_less(self):
+        from repro.datasets.synthetic import grid_road_network
+
+        g, _ = grid_road_network(8, 8, seed=5)
+        index = HubLabelIndex.build(g)
+        src, dst = 0, g.n - 1
+        qg = build_query_graph(g, (src,), (dst,))
+        blind, guided = SearchStats(), SearchStats()
+        best_first(qg, 5, ZERO_BOUNDS, stats=blind)
+        best_first(qg, 5, exact_target_heuristic(index, dst), stats=guided)
+        assert guided.nodes_settled < blind.nodes_settled
+
+    def test_virtual_nodes_resolve_to_zero(self, diamond_graph):
+        index = HubLabelIndex.build(diamond_graph)
+        h = exact_target_heuristic(index, 3)
+        assert h(diamond_graph.n) == 0.0
+        assert h(0) == 2.0

@@ -1,0 +1,154 @@
+"""Unit tests for the landmark (ALT) bound index.
+
+The load-bearing property is *admissibility*: no bound may ever exceed
+the true distance (Section 4.2's triangle-inequality derivation).
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import LandmarkError
+from repro.graph.digraph import DiGraph
+from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex, ZeroBounds
+from repro.pathing.dijkstra import multi_source_distances, single_source_distances
+from tests.conftest import random_graph
+
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def setting():
+    rng = random.Random(41)
+    g = random_graph(rng, min_nodes=15, max_nodes=25, bidirectional=True)
+    index = LandmarkIndex.build(g, num_landmarks=4, seed=1)
+    return g, index, rng
+
+
+class TestPairwiseBound:
+    def test_admissible_everywhere(self, setting):
+        g, index, _ = setting
+        for u in range(g.n):
+            dist = single_source_distances(g, u)
+            for v in range(g.n):
+                lb = index.distance_bound(u, v)
+                if dist[v] != INF:
+                    assert lb <= dist[v] + 1e-9
+
+    def test_nonnegative(self, setting):
+        g, index, _ = setting
+        for u in range(0, g.n, 3):
+            for v in range(0, g.n, 3):
+                assert index.distance_bound(u, v) >= 0.0
+
+    def test_landmark_to_node_is_exact(self, setting):
+        g, index, _ = setting
+        w = index.landmarks[0]
+        dist = single_source_distances(g, w)
+        for v in range(g.n):
+            if dist[v] != INF:
+                # lb(w, v) >= delta(w, v) - delta(w, w) = exact distance.
+                assert index.distance_bound(w, v) == pytest.approx(dist[v])
+
+
+class TestTargetBounds:
+    def test_eq2_admissible(self, setting):
+        g, index, rng = setting
+        targets = tuple(rng.sample(range(g.n), 4))
+        bounds = index.to_target_bounds(targets)
+        true = multi_source_distances(g.reversed_copy(), targets)
+        for u in range(g.n):
+            if true[u] != INF:
+                assert bounds(u) <= true[u] + 1e-9
+
+    def test_eq1_admissible_and_at_least_eq2(self, setting):
+        g, index, rng = setting
+        targets = tuple(rng.sample(range(g.n), 4))
+        eq2 = index.to_target_bounds(targets)
+        true = multi_source_distances(g.reversed_copy(), targets)
+        for u in range(g.n):
+            eq1 = index.to_target_bound_eq1(u, targets)
+            if true[u] != INF:
+                assert eq1 <= true[u] + 1e-9
+            assert eq1 >= eq2(u) - 1e-9  # Eq.(1) is the tighter bound
+
+    def test_virtual_nodes_get_zero(self, setting):
+        g, index, _ = setting
+        bounds = index.to_target_bounds((0,))
+        assert bounds(g.n) == 0.0
+        assert bounds(g.n + 1) == 0.0
+
+    def test_target_node_bound_is_zero(self, setting):
+        g, index, _ = setting
+        targets = (3,)
+        bounds = index.to_target_bounds(targets)
+        assert bounds(3) == pytest.approx(0.0)
+
+    def test_empty_targets_rejected(self, setting):
+        _, index, _ = setting
+        with pytest.raises(LandmarkError):
+            index.to_target_bounds(())
+        with pytest.raises(LandmarkError):
+            index.to_target_bound_eq1(0, ())
+
+
+class TestSourceBounds:
+    def test_admissible(self, setting):
+        g, index, rng = setting
+        sources = tuple(rng.sample(range(g.n), 3))
+        bounds = index.from_source_bounds(sources)
+        true = multi_source_distances(g, sources)
+        for u in range(g.n):
+            if true[u] != INF:
+                assert bounds(u) <= true[u] + 1e-9
+
+    def test_single_source(self, setting):
+        g, index, _ = setting
+        bounds = index.from_source_bounds((0,))
+        true = single_source_distances(g, 0)
+        for u in range(g.n):
+            if true[u] != INF:
+                assert bounds(u) <= true[u] + 1e-9
+
+    def test_empty_sources_rejected(self, setting):
+        _, index, _ = setting
+        with pytest.raises(LandmarkError):
+            index.from_source_bounds(())
+
+
+class TestDisconnected:
+    def test_bounds_stay_admissible_with_unreachable_parts(self):
+        # Two components: {0,1} and {2,3}.
+        g = DiGraph.from_edges(
+            4, [(0, 1, 2.0), (2, 3, 5.0)], bidirectional=True
+        )
+        index = LandmarkIndex.build(g, num_landmarks=2, seed=0)
+        bounds = index.to_target_bounds((1,))
+        true = multi_source_distances(g.reversed_copy(), (1,))
+        for u in range(4):
+            if true[u] != INF:
+                assert bounds(u) <= true[u] + 1e-9
+            assert bounds(u) >= 0.0 or bounds(u) == INF
+
+
+class TestZeroBounds:
+    def test_always_zero(self):
+        zb = ZeroBounds()
+        assert zb(0) == 0.0
+        assert zb(10**9) == 0.0
+        assert ZERO_BOUNDS(5) == 0.0
+
+
+class TestBuild:
+    def test_size_property(self, setting):
+        _, index, _ = setting
+        assert index.size == 4
+        assert len(index.landmarks) == 4
+
+    def test_build_strategies(self):
+        g = DiGraph.from_edges(
+            6, [(i, i + 1, 1.0) for i in range(5)], bidirectional=True
+        )
+        for strategy in ("farthest", "random", "degree"):
+            index = LandmarkIndex.build(g, 2, strategy=strategy)
+            assert index.size == 2

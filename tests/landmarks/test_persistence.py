@@ -1,0 +1,60 @@
+"""Unit tests for landmark-index persistence."""
+
+import random
+
+import pytest
+
+from repro.exceptions import LandmarkError
+from repro.graph.digraph import DiGraph
+from repro.landmarks.index import LandmarkIndex
+from tests.conftest import random_graph
+
+
+class TestSaveLoad:
+    def make(self, seed=171):
+        rng = random.Random(seed)
+        g = random_graph(rng, min_nodes=10, max_nodes=15, bidirectional=True)
+        return g, LandmarkIndex.build(g, 3, seed=1)
+
+    def test_round_trip_preserves_bounds(self, tmp_path):
+        g, index = self.make()
+        path = tmp_path / "landmarks.npz"
+        index.save(path)
+        loaded = LandmarkIndex.load(path, g)
+        assert loaded.landmarks == index.landmarks
+        targets = (0, 1)
+        a = index.to_target_bounds(targets)
+        b = loaded.to_target_bounds(targets)
+        for u in range(g.n):
+            assert a(u) == b(u)
+
+    def test_round_trip_pairwise(self, tmp_path):
+        g, index = self.make(seed=172)
+        path = tmp_path / "lm.npz"
+        index.save(path)
+        loaded = LandmarkIndex.load(path, g)
+        for u in range(0, g.n, 2):
+            for v in range(0, g.n, 2):
+                assert loaded.distance_bound(u, v) == index.distance_bound(u, v)
+
+    def test_load_rejects_wrong_graph(self, tmp_path):
+        g, index = self.make(seed=173)
+        path = tmp_path / "lm.npz"
+        index.save(path)
+        other = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        with pytest.raises(LandmarkError, match="snapshot"):
+            LandmarkIndex.load(path, other)
+
+    def test_loaded_index_usable_in_solver(self, tmp_path):
+        from repro.core.kpj import KPJSolver
+        from repro.graph.categories import CategoryIndex
+
+        g, index = self.make(seed=174)
+        path = tmp_path / "lm.npz"
+        index.save(path)
+        loaded = LandmarkIndex.load(path, g)
+        solver = KPJSolver(g, CategoryIndex({"T": [g.n - 1]}), landmarks=loaded)
+        fresh = KPJSolver(g, CategoryIndex({"T": [g.n - 1]}), landmarks=index)
+        a = solver.top_k(0, category="T", k=3)
+        b = fresh.top_k(0, category="T", k=3)
+        assert a.lengths == b.lengths

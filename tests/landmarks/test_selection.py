@@ -1,0 +1,72 @@
+"""Unit tests for landmark selection strategies."""
+
+import pytest
+
+from repro.exceptions import LandmarkError
+from repro.graph.digraph import DiGraph
+from repro.landmarks.selection import (
+    degree_landmarks,
+    farthest_landmarks,
+    random_landmarks,
+    select_landmarks,
+)
+
+
+@pytest.fixture
+def grid():
+    # 4x4 bidirectional grid, unit weights.
+    g = DiGraph(16)
+    for r in range(4):
+        for c in range(4):
+            u = 4 * r + c
+            if c + 1 < 4:
+                g.add_bidirectional_edge(u, u + 1, 1.0)
+            if r + 1 < 4:
+                g.add_bidirectional_edge(u, u + 4, 1.0)
+    return g.freeze()
+
+
+class TestSelection:
+    def test_count_respected(self, grid):
+        for strategy in ("farthest", "random", "degree"):
+            landmarks = select_landmarks(grid, 5, strategy)
+            assert len(landmarks) == 5
+            assert len(set(landmarks)) == 5
+
+    def test_zero_count_rejected(self, grid):
+        with pytest.raises(LandmarkError):
+            select_landmarks(grid, 0)
+
+    def test_too_many_rejected(self, grid):
+        with pytest.raises(LandmarkError):
+            select_landmarks(grid, 17)
+
+    def test_unknown_strategy_rejected(self, grid):
+        with pytest.raises(LandmarkError):
+            select_landmarks(grid, 2, "psychic")
+
+    def test_deterministic_in_seed(self, grid):
+        assert farthest_landmarks(grid, 4, seed=7) == farthest_landmarks(
+            grid, 4, seed=7
+        )
+        assert random_landmarks(grid, 4, seed=7) == random_landmarks(grid, 4, seed=7)
+
+    def test_farthest_spreads_out(self, grid):
+        # On a grid the first two farthest landmarks are opposite corners
+        # (distance 6 apart).
+        a, b = farthest_landmarks(grid, 2, seed=1)
+        from repro.pathing.dijkstra import single_source_distances
+
+        assert single_source_distances(grid, a)[b] == 6.0
+
+    def test_degree_prefers_high_degree(self):
+        g = DiGraph(5)
+        for v in (1, 2, 3, 4):
+            g.add_edge(0, v, 1.0)  # node 0 has degree 4
+        g.add_edge(1, 2, 1.0)
+        g.freeze()
+        assert degree_landmarks(g, 1) == (0,)
+        assert degree_landmarks(g, 2) == (0, 1)
+
+    def test_random_within_range(self, grid):
+        assert all(0 <= v < 16 for v in random_landmarks(grid, 8, seed=3))

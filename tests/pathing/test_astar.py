@@ -1,0 +1,142 @@
+"""Unit tests for A* and the bounded TestLB kernel (Lemma 5.1)."""
+
+import random
+
+import pytest
+
+from repro.core.stats import SearchStats
+from repro.graph.digraph import DiGraph
+from repro.pathing.astar import astar_path, bounded_astar_path
+from repro.pathing.dijkstra import (
+    constrained_shortest_path,
+    single_source_distances,
+)
+from tests.conftest import random_graph
+
+INF = float("inf")
+
+
+def zero(_):
+    return 0.0
+
+
+def exact_heuristic(graph, target):
+    """The perfect (consistent) heuristic: true remaining distance."""
+    dist = single_source_distances(graph.reversed_copy(), target)
+
+    def h(v):
+        d = dist[v]
+        return d if d != INF else 0.0
+
+    return h
+
+
+class TestAStar:
+    def test_zero_heuristic_matches_dijkstra(self):
+        rng = random.Random(11)
+        for _ in range(15):
+            g = random_graph(rng)
+            src, dst = rng.randrange(g.n), rng.randrange(g.n)
+            a = astar_path(g, src, dst, zero)
+            d = constrained_shortest_path(g, src, dst)
+            if d is None:
+                assert a is None
+            else:
+                assert a is not None
+                assert a[1] == pytest.approx(d[1])
+
+    def test_exact_heuristic_matches_dijkstra(self):
+        rng = random.Random(12)
+        for _ in range(15):
+            g = random_graph(rng)
+            src, dst = rng.randrange(g.n), rng.randrange(g.n)
+            a = astar_path(g, src, dst, exact_heuristic(g, dst))
+            d = constrained_shortest_path(g, src, dst)
+            if d is None:
+                assert a is None
+            else:
+                assert a is not None
+                assert a[1] == pytest.approx(d[1])
+
+    def test_exact_heuristic_settles_fewer_nodes(self):
+        g = DiGraph.from_edges(
+            6,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 1.0), (4, 5, 1.0)],
+        )
+        blind, guided = SearchStats(), SearchStats()
+        astar_path(g, 0, 3, zero, stats=blind)
+        astar_path(g, 0, 3, exact_heuristic(g, 3), stats=guided)
+        assert guided.nodes_settled <= blind.nodes_settled
+
+    def test_constraints_respected(self, diamond_graph):
+        found = astar_path(diamond_graph, 0, 3, zero, blocked={1})
+        assert found is not None
+        assert found[0] == (0, 2, 3)
+
+    def test_source_is_target(self, diamond_graph):
+        assert astar_path(diamond_graph, 1, 1, zero, initial_distance=5.0) == (
+            (1,),
+            5.0,
+        )
+
+
+class TestBoundedAStar:
+    """Lemma 5.1: returns sp(S) iff its length <= tau, else None."""
+
+    def test_path_found_at_exact_bound(self, diamond_graph):
+        found = bounded_astar_path(diamond_graph, 0, 3, zero, bound=2.0)
+        assert found is not None
+        assert found[1] == 2.0
+
+    def test_path_rejected_below_length(self, diamond_graph):
+        assert bounded_astar_path(diamond_graph, 0, 3, zero, bound=1.9) is None
+
+    def test_lemma_5_1_on_random_graphs(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            g = random_graph(rng)
+            src, dst = rng.randrange(g.n), rng.randrange(g.n)
+            exact = constrained_shortest_path(g, src, dst)
+            if exact is None:
+                continue
+            length = exact[1]
+            h = exact_heuristic(g, dst)
+            assert bounded_astar_path(g, src, dst, h, bound=length) is not None
+            if length > 0:
+                assert (
+                    bounded_astar_path(g, src, dst, h, bound=length * 0.999) is None
+                )
+
+    def test_info_pruned_flag_set_on_bound_rejection(self, diamond_graph):
+        info = {}
+        bounded_astar_path(diamond_graph, 0, 3, zero, bound=0.5, info=info)
+        assert info["pruned"] is True
+
+    def test_info_pruned_false_when_exhausted(self):
+        # Target unreachable, small graph fully explored, nothing pruned.
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        info = {}
+        result = bounded_astar_path(g, 0, 2, zero, bound=100.0, info=info)
+        assert result is None
+        assert info["pruned"] is False
+
+    def test_start_over_bound_prunes_immediately(self, diamond_graph):
+        info = {}
+        result = bounded_astar_path(
+            diamond_graph, 0, 3, zero, bound=1.0, initial_distance=5.0, info=info
+        )
+        assert result is None
+        assert info["pruned"] is True
+
+    def test_inf_heuristic_prunes_node_entirely(self):
+        # h = inf on node 1 forces the longer route through 2.
+        g = DiGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 5.0)]
+        )
+
+        def h(v):
+            return INF if v == 1 else 0.0
+
+        found = bounded_astar_path(g, 0, 3, h, bound=10.0)
+        assert found is not None
+        assert found[0] == (0, 2, 3)

@@ -1,0 +1,71 @@
+"""Unit tests for bidirectional Dijkstra."""
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.pathing.bidirectional import (
+    bidirectional_distance,
+    bidirectional_shortest_path,
+)
+from repro.pathing.dijkstra import shortest_path, single_source_distances
+from tests.conftest import random_graph
+
+INF = float("inf")
+
+
+class TestBidirectional:
+    def test_diamond(self, diamond_graph):
+        found = bidirectional_shortest_path(diamond_graph, 0, 3)
+        assert found is not None
+        path, length = found
+        assert length == 2.0
+        assert path == (0, 1, 3)
+
+    def test_source_equals_target(self, diamond_graph):
+        assert bidirectional_shortest_path(diamond_graph, 2, 2) == ((2,), 0.0)
+
+    def test_unreachable(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        assert bidirectional_shortest_path(g, 0, 2) is None
+        assert bidirectional_distance(g, 0, 2) == INF
+
+    def test_respects_direction(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert bidirectional_distance(g, 0, 2) == 2.0
+        assert bidirectional_distance(g, 2, 0) == INF
+
+    def test_matches_unidirectional_on_random_graphs(self):
+        rng = random.Random(151)
+        for _ in range(30):
+            g = random_graph(rng, min_nodes=6, max_nodes=16)
+            src, dst = rng.randrange(g.n), rng.randrange(g.n)
+            uni = shortest_path(g, src, dst)
+            bi = bidirectional_shortest_path(g, src, dst)
+            if uni is None:
+                assert bi is None
+            else:
+                assert bi is not None
+                assert bi[1] == pytest.approx(uni[1])
+                assert g.path_weight(bi[0]) == pytest.approx(bi[1])
+                assert bi[0][0] == src and bi[0][-1] == dst
+
+    def test_distance_matches_dijkstra_all_pairs(self):
+        rng = random.Random(152)
+        g = random_graph(rng, min_nodes=8, max_nodes=10, bidirectional=True)
+        for src in range(g.n):
+            dist = single_source_distances(g, src)
+            for dst in range(g.n):
+                assert bidirectional_distance(g, src, dst) == pytest.approx(
+                    dist[dst]
+                )
+
+    def test_long_line_meets_in_middle(self):
+        g = DiGraph.from_edges(
+            101, [(i, i + 1, 1.0) for i in range(100)], bidirectional=True
+        )
+        found = bidirectional_shortest_path(g, 0, 100)
+        assert found is not None
+        assert found[1] == 100.0
+        assert found[0] == tuple(range(101))

@@ -1,0 +1,130 @@
+"""Unit tests for the priority queues."""
+
+import random
+
+import pytest
+
+from repro.pathing.heap import AddressableHeap, LazyHeap
+
+
+class TestLazyHeap:
+    def test_push_pop_order(self):
+        h = LazyHeap()
+        h.push(3.0, "c")
+        h.push(1.0, "a")
+        h.push(2.0, "b")
+        assert h.pop() == (1.0, "a")
+        assert h.pop() == (2.0, "b")
+        assert h.pop() == (3.0, "c")
+
+    def test_pop_unique_skips_stale_duplicates(self):
+        h = LazyHeap()
+        h.push(5.0, "x")
+        h.push(2.0, "x")  # decreased key
+        h.push(1.0, "y")
+        assert h.pop_unique() == (1.0, "y")
+        assert h.pop_unique() == (2.0, "x")
+        assert h.pop_unique() is None  # the stale (5.0, "x") is skipped
+
+    def test_peek(self):
+        h = LazyHeap()
+        assert h.peek() is None
+        h.push(4.0, "z")
+        assert h.peek() == (4.0, "z")
+        assert len(h) == 1
+
+    def test_bool_and_len(self):
+        h = LazyHeap()
+        assert not h
+        h.push(1.0, 1)
+        assert h
+        assert len(h) == 1
+
+
+class TestAddressableHeap:
+    def test_push_pop_order(self):
+        h = AddressableHeap()
+        for key, priority in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            h.push(key, priority)
+        assert h.pop() == ("b", 1.0)
+        assert h.pop() == ("c", 2.0)
+        assert h.pop() == ("a", 3.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().peek()
+
+    def test_push_updates_priority_down(self):
+        h = AddressableHeap()
+        h.push("a", 5.0)
+        h.push("b", 3.0)
+        h.push("a", 1.0)
+        assert len(h) == 2
+        assert h.pop() == ("a", 1.0)
+
+    def test_push_updates_priority_up(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        h.push("b", 3.0)
+        h.push("a", 9.0)
+        assert h.pop() == ("b", 3.0)
+        assert h.pop() == ("a", 9.0)
+
+    def test_decrease_key(self):
+        h = AddressableHeap()
+        h.push("a", 5.0)
+        assert h.decrease_key("a", 2.0)
+        assert not h.decrease_key("a", 3.0)  # not lower -> no-op
+        assert h.priority_of("a") == 2.0
+
+    def test_decrease_key_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().decrease_key("ghost", 1.0)
+
+    def test_remove(self):
+        h = AddressableHeap()
+        h.push("a", 1.0)
+        h.push("b", 2.0)
+        h.push("c", 3.0)
+        assert h.remove("b") == 2.0
+        assert "b" not in h
+        assert h.pop() == ("a", 1.0)
+        assert h.pop() == ("c", 3.0)
+
+    def test_contains(self):
+        h = AddressableHeap()
+        h.push(42, 1.0)
+        assert 42 in h
+        assert 7 not in h
+
+    def test_randomized_against_model(self):
+        rng = random.Random(0)
+        h = AddressableHeap()
+        model: dict[int, float] = {}
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.5 or not model:
+                key = rng.randrange(50)
+                priority = rng.uniform(0, 100)
+                h.push(key, priority)
+                model[key] = priority
+            elif op < 0.75:
+                key, priority = h.pop()
+                expected_key = min(model, key=lambda k: (model[k], 0))
+                assert priority == min(model.values())
+                assert model[key] == priority
+                del model[key]
+            else:
+                key = rng.choice(list(model))
+                h.remove(key)
+                del model[key]
+            assert len(h) == len(model)
+            assert h.check_invariant()
+        while model:
+            key, priority = h.pop()
+            assert priority == min(model.values())
+            del model[key]

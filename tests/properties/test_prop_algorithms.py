@@ -1,0 +1,101 @@
+"""Property-based cross-validation: every algorithm equals brute force.
+
+The central correctness property of the whole package (DESIGN.md
+invariant 1): on arbitrary graphs and queries, each of the seven
+registered algorithms returns exactly the brute-force top-k lengths,
+and the returned paths satisfy the KPJ contract.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.core.kpj import ALGORITHMS, KPJSolver
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+
+# A compact strategy for small weighted digraphs with a query.
+
+
+@st.composite
+def graph_and_query(draw):
+    n = draw(st.integers(4, 9))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=n, max_size=3 * n, unique=True)
+    )
+    weights = draw(
+        st.lists(
+            st.integers(0, 9), min_size=len(edges), max_size=len(edges)
+        )
+    )
+    g = DiGraph(n)
+    for (u, v), w in zip(edges, weights):
+        g.add_edge(u, v, float(w))
+    g.freeze()
+    source = draw(st.integers(0, n - 1))
+    dest_count = draw(st.integers(1, 3))
+    destinations = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=dest_count,
+            max_size=dest_count,
+            unique=True,
+        )
+    )
+    k = draw(st.integers(1, 5))
+    return g, source, tuple(destinations), k
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=graph_and_query())
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_algorithm_matches_brute_force(algorithm, case):
+    g, source, destinations, k = case
+    expected = [p.length for p in brute_force_topk(g, source, destinations, k)]
+    solver = KPJSolver(
+        g, CategoryIndex({"T": destinations}), landmarks=min(3, g.n)
+    )
+    result = solver.top_k(source, category="T", k=k, algorithm=algorithm)
+    got = list(result.lengths)
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=graph_and_query())
+def test_result_contract(case):
+    """Paths are simple, start at the source, end in V_T, sorted."""
+    g, source, destinations, k = case
+    solver = KPJSolver(g, CategoryIndex({"T": destinations}), landmarks=None)
+    result = solver.top_k(source, category="T", k=k)
+    dest_set = set(destinations)
+    previous = -math.inf
+    for path in result.paths:
+        assert path.nodes[0] == source
+        assert path.nodes[-1] in dest_set
+        assert g.is_simple_path(path.nodes)
+        assert g.path_weight(path.nodes) == pytest.approx(path.length)
+        assert path.length >= previous - 1e-12
+        previous = path.length
+    # Paths are pairwise distinct.
+    assert len({p.nodes for p in result.paths}) == len(result.paths)
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=graph_and_query(), alpha=st.floats(1.01, 5.0))
+def test_alpha_never_changes_lengths(case, alpha):
+    """The tau growth factor is a performance knob, never a semantics one."""
+    g, source, destinations, k = case
+    solver = KPJSolver(g, CategoryIndex({"T": destinations}), landmarks=2)
+    base = solver.top_k(source, category="T", k=k, algorithm="iter-bound-spti")
+    varied = solver.top_k(
+        source, category="T", k=k, algorithm="iter-bound-spti", alpha=alpha
+    )
+    assert [round(x, 9) for x in varied.lengths] == [
+        round(x, 9) for x in base.lengths
+    ]

@@ -1,0 +1,59 @@
+"""Property-based tests of the synthetic road-network generators."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import grid_road_network, radial_road_network
+from repro.pathing.dijkstra import single_source_distances
+
+INF = float("inf")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.integers(3, 12),
+    cols=st.integers(3, 12),
+    seed=st.integers(0, 1000),
+)
+def test_grid_networks_well_formed(rows, cols, seed):
+    g, coords = grid_road_network(rows, cols, seed=seed)
+    # Connected (largest-component extraction guarantees it).
+    dist = single_source_distances(g, 0)
+    assert all(d < INF for d in dist)
+    # Bidirectional with matching weights.
+    for u, v, w in g.edges():
+        assert g.edge_weight(v, u) == w
+    # Weights are the Euclidean lengths of their segments.
+    for u, v, w in g.edges():
+        dx = coords[u, 0] - coords[v, 0]
+        dy = coords[u, 1] - coords[v, 1]
+        assert math.isclose(w, math.hypot(dx, dy), rel_tol=1e-9)
+    # Road-like degrees: no hubs.
+    assert max(g.out_degree(u) for u in range(g.n)) <= 8
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rings=st.integers(1, 6),
+    spokes=st.integers(3, 15),
+    seed=st.integers(0, 1000),
+)
+def test_radial_networks_well_formed(rings, spokes, seed):
+    g, coords = radial_road_network(rings, spokes, seed=seed)
+    dist = single_source_distances(g, 0)
+    assert all(d < INF for d in dist)
+    assert len(coords) == g.n
+    for u, v, w in g.edges():
+        assert g.edge_weight(v, u) == w
+        assert w > 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows=st.integers(3, 10), cols=st.integers(3, 10), seed=st.integers(0, 100))
+def test_grid_generation_deterministic(rows, cols, seed):
+    a, ca = grid_road_network(rows, cols, seed=seed)
+    b, cb = grid_road_network(rows, cols, seed=seed)
+    assert sorted(a.edges()) == sorted(b.edges())
+    assert ca.tolist() == cb.tolist()

@@ -1,0 +1,88 @@
+"""Property-based tests for GKPJ (set-valued sources)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import brute_force_topk
+from repro.core.kpj import KPJSolver
+from repro.graph.digraph import DiGraph
+
+
+@st.composite
+def gkpj_case(draw):
+    n = draw(st.integers(4, 9))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=n, max_size=3 * n, unique=True)
+    )
+    g = DiGraph(n)
+    for u, v in edges:
+        g.add_edge(u, v, float(draw(st.integers(0, 9))))
+    g.freeze()
+    sources = tuple(
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3, unique=True))
+    )
+    destinations = tuple(
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3, unique=True))
+    )
+    k = draw(st.integers(1, 5))
+    return g, sources, destinations, k
+
+
+def oracle(graph, sources, destinations, k):
+    pool = []
+    for source in set(sources):
+        pool.extend(brute_force_topk(graph, source, destinations, k))
+    pool.sort()
+    return [p.length for p in pool[:k]]
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=gkpj_case())
+def test_gkpj_matches_oracle(case):
+    g, sources, destinations, k = case
+    solver = KPJSolver(g, landmarks=2)
+    result = solver.join(sources=sources, destinations=destinations, k=k)
+    expected = oracle(g, sources, destinations, k)
+    got = list(result.lengths)
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=gkpj_case())
+def test_gkpj_contract(case):
+    """Endpoints in the right sets, simple, sorted, no virtual ids."""
+    g, sources, destinations, k = case
+    solver = KPJSolver(g, landmarks=None)
+    result = solver.join(sources=sources, destinations=destinations, k=k)
+    source_set, dest_set = set(sources), set(destinations)
+    previous = -math.inf
+    for path in result.paths:
+        assert path.nodes[0] in source_set
+        assert path.nodes[-1] in dest_set
+        assert max(path.nodes) < g.n
+        assert g.is_simple_path(path.nodes)
+        assert path.length >= previous - 1e-12
+        previous = path.length
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=gkpj_case())
+def test_gkpj_never_beats_best_single_source_by_definition(case):
+    """The GKPJ top-1 equals the minimum over per-source top-1s."""
+    g, sources, destinations, k = case
+    solver = KPJSolver(g, landmarks=2)
+    joint = solver.join(sources=sources, destinations=destinations, k=1)
+    singles = []
+    for source in sources:
+        r = solver.top_k(source, destinations=destinations, k=1)
+        if r.paths:
+            singles.append(r.paths[0].length)
+    if not singles:
+        assert not joint.paths
+    else:
+        assert joint.paths[0].length == min(singles)

@@ -1,0 +1,78 @@
+"""Property-based model test of the addressable heap."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.pathing.heap import AddressableHeap
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """The heap must always agree with a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.heap: AddressableHeap[int] = AddressableHeap()
+        self.model: dict[int, float] = {}
+
+    @rule(key=st.integers(0, 30), priority=st.floats(0, 100))
+    def push(self, key, priority):
+        self.heap.push(key, priority)
+        self.model[key] = priority
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop_min(self):
+        key, priority = self.heap.pop()
+        assert priority == min(self.model.values())
+        assert self.model[key] == priority
+        del self.model[key]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove_some(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        priority = self.heap.remove(key)
+        assert priority == self.model.pop(key)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), delta=st.floats(0.001, 50))
+    def decrease(self, data, delta):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        new_priority = self.model[key] - delta
+        changed = self.heap.decrease_key(key, new_priority)
+        assert changed
+        self.model[key] = new_priority
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.heap) == len(self.model)
+
+    @invariant()
+    def structure_valid(self):
+        assert self.heap.check_invariant()
+
+    @invariant()
+    def peek_is_min(self):
+        if self.model:
+            _, priority = self.heap.peek()
+            assert priority == min(self.model.values())
+
+
+TestHeapMachine = HeapMachine.TestCase
+TestHeapMachine.settings = settings(max_examples=60, stateful_step_count=40)
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 1000)), min_size=1))
+def test_heapsort_via_addressable_heap(pairs):
+    """Pushing then draining yields priorities in sorted order."""
+    heap: AddressableHeap[int] = AddressableHeap()
+    model = {}
+    for key, priority in pairs:
+        heap.push(key, priority)
+        model[key] = priority
+    drained = []
+    while heap:
+        _, priority = heap.pop()
+        drained.append(priority)
+    assert drained == sorted(model.values())

@@ -1,0 +1,88 @@
+"""Property-based round-trip tests for the IO layer."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    load_edge_list,
+    load_npz,
+    load_poi_file,
+    save_npz,
+    write_edge_list,
+)
+
+
+@st.composite
+def arbitrary_graph(draw):
+    n = draw(st.integers(2, 10))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=2 * n, unique=True)
+    )
+    g = DiGraph(n)
+    for u, v in chosen:
+        # Weights that survive "%g" text formatting exactly.
+        g.add_edge(u, v, float(draw(st.integers(0, 10_000))) / 4.0)
+    return g.freeze()
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=arbitrary_graph())
+def test_edge_list_round_trip(g):
+    buf = io.StringIO()
+    write_edge_list(g, buf)
+    loaded = load_edge_list(io.StringIO(buf.getvalue()))
+    assert sorted(loaded.edges()) == sorted(g.edges())
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=arbitrary_graph(), data=st.data())
+def test_npz_round_trip(g, data, tmp_path_factory):
+    names = data.draw(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=65, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    members = {
+        name: data.draw(
+            st.lists(st.integers(0, g.n - 1), min_size=1, max_size=4, unique=True)
+        )
+        for name in names
+    }
+    categories = CategoryIndex(members)
+    path = tmp_path_factory.mktemp("npz") / "snapshot.npz"
+    save_npz(path, g, categories=categories)
+    loaded_graph, loaded_categories, _ = load_npz(path)
+    assert sorted(loaded_graph.edges()) == sorted(g.edges())
+    assert loaded_categories is not None
+    for name in names:
+        assert loaded_categories.nodes_of(name) == categories.nodes_of(name)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(0, 99),
+            st.sampled_from(["Hotel", "Fuel", "Gas Station", "Park"]),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_poi_file_round_trip(entries):
+    text = "".join(f"{node} {category}\n" for node, category in entries)
+    index = load_poi_file(io.StringIO(text))
+    for node, category in entries:
+        assert node in index.node_set(category)

@@ -1,0 +1,82 @@
+"""Property-based tests of landmark-bound admissibility."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.landmarks.index import LandmarkIndex
+from repro.pathing.dijkstra import multi_source_distances, single_source_distances
+
+INF = float("inf")
+
+
+@st.composite
+def weighted_graph(draw):
+    n = draw(st.integers(4, 12))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=n, max_size=3 * n, unique=True)
+    )
+    g = DiGraph(n)
+    for u, v in edges:
+        g.add_edge(u, v, float(draw(st.integers(1, 20))))
+    return g.freeze()
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=weighted_graph(), data=st.data())
+def test_pairwise_bound_admissible(g, data):
+    index = LandmarkIndex.build(g, num_landmarks=min(3, g.n), seed=0)
+    u = data.draw(st.integers(0, g.n - 1))
+    dist = single_source_distances(g, u)
+    for v in range(g.n):
+        lb = index.distance_bound(u, v)
+        if dist[v] != INF:
+            assert lb <= dist[v] + 1e-9
+        assert lb >= 0.0 or lb == INF
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=weighted_graph(), data=st.data())
+def test_target_bounds_admissible_and_eq1_dominates(g, data):
+    index = LandmarkIndex.build(g, num_landmarks=min(3, g.n), seed=1)
+    count = data.draw(st.integers(1, 3))
+    targets = tuple(
+        data.draw(
+            st.lists(
+                st.integers(0, g.n - 1), min_size=count, max_size=count, unique=True
+            )
+        )
+    )
+    eq2 = index.to_target_bounds(targets)
+    true = multi_source_distances(g.reversed_copy(), targets)
+    for u in range(g.n):
+        bound2 = eq2(u)
+        bound1 = index.to_target_bound_eq1(u, targets)
+        if true[u] != INF:
+            assert bound2 <= true[u] + 1e-9
+            assert bound1 <= true[u] + 1e-9
+        # Eq.(1) is never looser than Eq.(2) (both clamp at 0).
+        if not math.isinf(bound2):
+            assert bound1 >= bound2 - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=weighted_graph(), data=st.data())
+def test_source_bounds_admissible(g, data):
+    index = LandmarkIndex.build(g, num_landmarks=min(3, g.n), seed=2)
+    count = data.draw(st.integers(1, 3))
+    sources = tuple(
+        data.draw(
+            st.lists(
+                st.integers(0, g.n - 1), min_size=count, max_size=count, unique=True
+            )
+        )
+    )
+    bounds = index.from_source_bounds(sources)
+    true = multi_source_distances(g, sources)
+    for u in range(g.n):
+        if true[u] != INF:
+            assert bounds(u) <= true[u] + 1e-9

@@ -1,0 +1,87 @@
+"""Property-based tests of subspace division and TestLB semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import enumerate_simple_paths
+from repro.core.subspace import Subspace, divide
+from repro.graph.digraph import DiGraph
+from repro.graph.virtual import build_query_graph
+from repro.pathing.astar import bounded_astar_path
+from repro.pathing.dijkstra import constrained_shortest_path
+
+
+@st.composite
+def query_case(draw):
+    n = draw(st.integers(4, 8))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=n, max_size=3 * n, unique=True)
+    )
+    g = DiGraph(n)
+    for u, v in edges:
+        g.add_edge(u, v, float(draw(st.integers(1, 9))))
+    g.freeze()
+    source = draw(st.integers(0, n - 1))
+    count = draw(st.integers(1, 2))
+    destinations = tuple(
+        draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=count, max_size=count, unique=True
+            )
+        )
+    )
+    return build_query_graph(g, (source,), destinations)
+
+
+def subspace_members(qg, subspace):
+    out = set()
+    for path in enumerate_simple_paths(qg.graph, qg.source, (qg.target,)):
+        nodes = path.nodes
+        if nodes[: len(subspace.prefix)] != subspace.prefix:
+            continue
+        at = len(subspace.prefix)
+        if at < len(nodes) and nodes[at] in subspace.banned:
+            continue
+        out.add(nodes)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(qg=query_case())
+def test_division_partitions_the_space(qg):
+    root = Subspace.entire(qg.source)
+    paths = subspace_members(qg, root)
+    if not paths:
+        return
+    best = min(paths, key=lambda nodes: (qg.graph.path_weight(nodes), nodes))
+    children = list(
+        divide(root, best, qg.graph.path_weight(best), qg.graph.edge_weight)
+    )
+    covered: set = set()
+    for child in children:
+        member_set = subspace_members(qg, child)
+        assert not (member_set & covered), "children must be disjoint"
+        covered |= member_set
+    assert covered | {best} == paths
+    assert best not in covered
+
+
+@settings(max_examples=40, deadline=None)
+@given(qg=query_case(), tau_scale=st.floats(0.3, 2.0))
+def test_testlb_semantics_match_lemma_5_1(qg, tau_scale):
+    """bounded A* returns the shortest path iff its length <= tau."""
+    exact = constrained_shortest_path(qg.graph, qg.source, qg.target)
+    if exact is None:
+        return
+    length = exact[1]
+    tau = length * tau_scale
+    found = bounded_astar_path(
+        qg.graph, qg.source, qg.target, lambda _: 0.0, bound=tau
+    )
+    if length <= tau:
+        assert found is not None
+        assert found[1] == pytest.approx(length)
+    else:
+        assert found is None

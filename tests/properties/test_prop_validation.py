@@ -1,0 +1,92 @@
+"""Mutation-based property tests of the result validator.
+
+A validator is only trustworthy if it *catches* corruption: take a
+correct answer, apply a random mutation (inflate a length, truncate a
+path, swap ranks, duplicate, reroute through a missing edge), and the
+validator must flag it — while always passing the unmutated answer.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kpj import KPJSolver
+from repro.core.result import Path, QueryResult
+from repro.graph.categories import CategoryIndex
+from repro.graph.digraph import DiGraph
+from repro.validation import validate_result
+
+
+@st.composite
+def solved_query(draw):
+    n = draw(st.integers(4, 9))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=n, max_size=3 * n, unique=True)
+    )
+    g = DiGraph(n)
+    for u, v in edges:
+        g.add_edge(u, v, float(draw(st.integers(1, 9))))
+    g.freeze()
+    source = draw(st.integers(0, n - 1))
+    destinations = tuple(
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=2, unique=True))
+    )
+    solver = KPJSolver(g, CategoryIndex({"T": destinations}), landmarks=None)
+    k = draw(st.integers(2, 5))
+    result = solver.top_k(source, category="T", k=k)
+    return g, source, destinations, k, result
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=solved_query())
+def test_correct_answers_always_validate(case):
+    g, source, destinations, k, result = case
+    report = validate_result(g, result, [source], destinations, k)
+    assert report.ok, report.violations
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=solved_query(), data=st.data())
+def test_mutations_are_caught(case, data):
+    g, source, destinations, k, result = case
+    assume(len(result.paths) >= 2)
+    mutation = data.draw(
+        st.sampled_from(
+            ["inflate-length", "swap-ranks", "duplicate", "truncate", "teleport"]
+        )
+    )
+    paths = list(result.paths)
+    if mutation == "inflate-length":
+        victim = paths[0]
+        paths[0] = Path(victim.length + 1.0, victim.nodes)
+    elif mutation == "swap-ranks":
+        assume(not math.isclose(paths[0].length, paths[-1].length))
+        paths[0], paths[-1] = paths[-1], paths[0]
+    elif mutation == "duplicate":
+        paths[-1] = paths[0]
+        assume(len({p.nodes for p in paths}) != len(paths))
+    elif mutation == "truncate":
+        victim = paths[0]
+        assume(len(victim.nodes) >= 2)
+        truncated = victim.nodes[:-1]
+        # Only a real violation if the new endpoint is not a destination
+        # or the declared length no longer matches.
+        paths[0] = Path(victim.length, truncated)
+    elif mutation == "teleport":
+        victim = paths[0]
+        # Reroute through a node pair with no edge.
+        missing = None
+        for u in range(g.n):
+            for v in range(g.n):
+                if u != v and not g.has_edge(u, v):
+                    missing = (u, v)
+                    break
+            if missing:
+                break
+        assume(missing is not None)
+        paths[0] = Path(victim.length, missing)
+    mutated = QueryResult(paths=paths, algorithm="mutated")
+    report = validate_result(g, mutated, [source], destinations, k)
+    assert not report.ok, f"{mutation} slipped past the validator"

@@ -1,0 +1,76 @@
+"""Property-based tests for top-k general shortest paths (walks)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.yen import yen_ksp
+from repro.core.walks import top_k_walks
+from repro.graph.digraph import DiGraph
+
+
+@st.composite
+def walk_case(draw):
+    n = draw(st.integers(3, 8))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=n, max_size=3 * n, unique=True)
+    )
+    g = DiGraph(n)
+    for u, v in chosen:
+        g.add_edge(u, v, float(draw(st.integers(1, 9))))
+    g.freeze()
+    source = draw(st.integers(0, n - 1))
+    target = draw(st.integers(0, n - 1))
+    k = draw(st.integers(1, 6))
+    return g, source, target, k
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=walk_case())
+def test_walks_sorted_valid_and_distinct(case):
+    g, source, target, k = case
+    walks = top_k_walks(g, source, target, k)
+    previous = -math.inf
+    seen = set()
+    for walk in walks:
+        assert walk.nodes[0] == source
+        assert walk.nodes[-1] == target
+        assert g.path_weight(walk.nodes) == pytest.approx(walk.length)
+        assert walk.length >= previous - 1e-9
+        previous = walk.length
+        assert walk.nodes not in seen
+        seen.add(walk.nodes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=walk_case())
+def test_walks_dominate_simple_paths(case):
+    """The i-th shortest walk is never longer than the i-th shortest
+    simple path (walks are a superset of simple paths)."""
+    g, source, target, k = case
+    if source == target:
+        return
+    simple = yen_ksp(g, source, target, k)
+    walks = top_k_walks(g, source, target, k)
+    assert len(walks) >= len(simple)
+    for walk, path in zip(walks, simple):
+        assert walk.length <= path.length + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=walk_case())
+def test_first_walk_is_shortest_path(case):
+    from repro.pathing.dijkstra import shortest_path
+
+    g, source, target, k = case
+    walks = top_k_walks(g, source, target, 1)
+    exact = shortest_path(g, source, target)
+    if source == target:
+        assert walks and walks[0].length == 0.0
+    elif exact is None:
+        assert walks == []
+    else:
+        assert walks[0].length == pytest.approx(exact[1])

@@ -1,0 +1,110 @@
+"""Unit tests for graph/result analytics."""
+
+import pytest
+
+from repro.analysis import (
+    DistanceSample,
+    degree_statistics,
+    node_frequencies,
+    path_diversity,
+    sample_distance_distribution,
+)
+from repro.core.result import Path
+from repro.graph.digraph import DiGraph
+
+
+class TestDistanceSample:
+    def test_percentile_of(self):
+        sample = DistanceSample([1.0, 2.0, 3.0, 4.0])
+        assert sample.percentile_of(0.5) == 0.0
+        assert sample.percentile_of(2.0) == 50.0
+        assert sample.percentile_of(10.0) == 100.0
+
+    def test_quantile(self):
+        sample = DistanceSample([1.0, 2.0, 3.0, 4.0])
+        assert sample.quantile(0.0) == 1.0
+        assert sample.quantile(0.5) == 3.0
+        assert sample.quantile(1.0) == 4.0
+
+    def test_quantile_validation(self):
+        sample = DistanceSample([1.0])
+        with pytest.raises(ValueError):
+            sample.quantile(1.5)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            DistanceSample([]).percentile_of(1.0)
+
+    def test_sampling_on_line_graph(self, line_graph):
+        sample = sample_distance_distribution(line_graph, num_sources=5, seed=0)
+        # 5 sources x 5 finite distances each.
+        assert len(sample) == 25
+        assert sample.percentile_of(4.0) == 100.0
+
+    def test_deterministic(self, line_graph):
+        a = sample_distance_distribution(line_graph, num_sources=3, seed=7)
+        b = sample_distance_distribution(line_graph, num_sources=3, seed=7)
+        assert len(a) == len(b)
+        assert a.quantile(0.5) == b.quantile(0.5)
+
+
+class TestPathDiversity:
+    def test_identical_paths_zero(self):
+        p = Path(2.0, (0, 1, 2))
+        assert path_diversity([p, p]) == 0.0
+
+    def test_disjoint_paths_one(self):
+        a = Path(2.0, (0, 1, 5))
+        b = Path(2.0, (0, 2, 5))
+        # Edges {(0,1),(1,5)} vs {(0,2),(2,5)}: fully disjoint.
+        assert path_diversity([a, b]) == 1.0
+
+    def test_partial_overlap(self):
+        a = Path(3.0, (0, 1, 2, 3))
+        b = Path(3.0, (0, 1, 4, 3))
+        # Shared edge (0,1); union of 5 edges -> Jaccard distance 0.8.
+        assert path_diversity([a, b]) == pytest.approx(0.8)
+
+    def test_fewer_than_two_paths(self):
+        assert path_diversity([]) == 0.0
+        assert path_diversity([Path(1.0, (0, 1))]) == 0.0
+
+    def test_bounded_zero_one(self):
+        paths = [
+            Path(2.0, (0, 1, 2)),
+            Path(2.0, (0, 3, 2)),
+            Path(3.0, (0, 1, 3, 2)),
+        ]
+        assert 0.0 <= path_diversity(paths) <= 1.0
+
+
+class TestNodeFrequencies:
+    def test_counts_and_order(self):
+        paths = [Path(2.0, (0, 1, 2)), Path(2.0, (0, 1, 3)), Path(1.0, (0, 3))]
+        ranking = node_frequencies(paths)
+        assert ranking[0] == (0, 3)
+        assert (1, 2) in ranking
+        assert (3, 2) in ranking
+
+    def test_exclusion(self):
+        paths = [Path(2.0, (0, 1, 2))]
+        ranking = node_frequencies(paths, exclude=[0, 2])
+        assert ranking == [(1, 1)]
+
+    def test_node_counted_once_per_path(self):
+        # Even if a walk revisits a node, count it once per path.
+        paths = [Path(4.0, (0, 1, 0, 2))]
+        ranking = dict(node_frequencies(paths))
+        assert ranking[0] == 1
+
+
+class TestDegreeStatistics:
+    def test_line_graph(self, line_graph):
+        stats = degree_statistics(line_graph)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 2.0
+        assert stats["mean"] == pytest.approx(8 / 5)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            degree_statistics(DiGraph(0))

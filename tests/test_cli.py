@@ -1,0 +1,143 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "--dataset", "SJ", "--source", "3", "--category", "T2"]
+        )
+        assert args.command == "query"
+        assert args.k == 10
+        assert args.algorithm == "iter-bound-spti"
+
+    def test_bench_args(self):
+        args = build_parser().parse_args(["bench", "--figure", "fig9"])
+        assert args.command == "bench"
+        assert args.queries == 3
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--dataset", "MARS", "--source", "0", "--category", "X"]
+            )
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--figure", "fig99"])
+
+
+class TestCommands:
+    def test_datasets_lists_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("SJ", "CAL", "USA"):
+            assert name in out
+
+    def test_query_prints_paths(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "SJ",
+                "--source",
+                "10",
+                "--category",
+                "T2",
+                "--k",
+                "3",
+                "--landmarks",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-3 paths" in out
+        assert "length" in out
+
+    def test_query_bad_source(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "SJ",
+                "--source",
+                "999999",
+                "--category",
+                "T2",
+            ]
+        )
+        assert code == 2
+        assert "source must be" in capsys.readouterr().err
+
+    def test_bench_prints_figure(self, capsys):
+        assert main(["bench", "--figure", "fig12b", "--queries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "IterBoundI" in out
+
+    def test_compare_verifies_agreement(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "SJ",
+                "--source",
+                "50",
+                "--category",
+                "T2",
+                "--k",
+                "5",
+                "--landmarks",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all algorithms agree" in out
+        assert "da-spt" in out
+
+    def test_query_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "SJ",
+                "--source",
+                "10",
+                "--category",
+                "T2",
+                "--k",
+                "2",
+                "--landmarks",
+                "4",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "iter-bound-spti"
+        assert len(payload["paths"]) == 2
+        assert payload["paths"][0]["length"] <= payload["paths"][1]["length"]
+
+    def test_compare_bad_source(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "SJ",
+                "--source",
+                "-5",
+                "--category",
+                "T2",
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,46 @@
+"""Smoke tests: the shipped examples must run and tell their story.
+
+Only the fast examples run as subprocesses here (the road-network ones
+build landmark indexes and belong to manual runs / benchmarks).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "KPJ: top-3 routes" in out
+        assert "GKPJ" in out
+        assert "Instrumentation" in out
+
+    def test_dimacs_import(self):
+        out = run_example("dimacs_import.py")
+        assert "loaded 12 junctions" in out
+        assert "oracle validation: OK" in out
+
+    def test_examples_all_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "trip_planning.py",
+            "social_network.py",
+            "ksp_showdown.py",
+            "dimacs_import.py",
+            "alternative_routes.py",
+        } <= names

@@ -1,0 +1,26 @@
+"""``python -m repro`` must behave exactly like the ``kpj`` CLI."""
+
+import subprocess
+import sys
+
+
+class TestMainModule:
+    def test_module_runs_datasets(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "datasets"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0
+        assert "SJ" in proc.stdout
+        assert "paper n" in proc.stdout
+
+    def test_module_reports_bad_args(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "frobnicate"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode != 0

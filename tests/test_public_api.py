@@ -1,0 +1,68 @@
+"""Public-API hygiene: exports resolve and everything is documented.
+
+Walks every module of the package and asserts that (a) each name in an
+``__all__`` actually exists, (b) every public module, class, function,
+and method carries a docstring — the documentation contract of the
+library.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, __ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def _public_objects():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if getattr(obj, "__module__", "").startswith("repro"):
+                    yield f"{module_name}.{name}", obj
+
+
+@pytest.mark.parametrize(
+    "qualified_name,obj", list(_public_objects()), ids=lambda x: x if isinstance(x, str) else ""
+)
+def test_public_object_docstrings(qualified_name, obj):
+    assert inspect.getdoc(obj), f"{qualified_name} lacks a docstring"
+    if inspect.isclass(obj):
+        for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+            if method_name.startswith("_"):
+                continue
+            assert inspect.getdoc(method), (
+                f"{qualified_name}.{method_name} lacks a docstring"
+            )
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+
+def test_version_is_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2

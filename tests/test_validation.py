@@ -1,0 +1,101 @@
+"""Unit tests for the result validator."""
+
+import pytest
+
+from repro.core.kpj import KPJSolver
+from repro.core.result import Path, QueryResult
+from repro.validation import validate_against_oracle, validate_result
+
+
+def make_result(paths):
+    return QueryResult(paths=paths, algorithm="test")
+
+
+class TestValidateResult:
+    def test_valid_answer_passes(self, paper_graph, paper_categories, paper_built):
+        solver = KPJSolver(paper_graph, paper_categories, landmarks=4)
+        v = paper_built.node_id
+        result = solver.top_k(v("v1"), category="H", k=3)
+        report = validate_result(
+            paper_graph,
+            result,
+            sources=[v("v1")],
+            destinations=paper_categories.nodes_of("H"),
+            k=3,
+        )
+        assert report.ok
+        report.raise_if_invalid()  # must not raise
+
+    def test_wrong_source_flagged(self, diamond_graph):
+        result = make_result([Path(2.0, (0, 1, 3))])
+        report = validate_result(diamond_graph, result, [2], [3], 1)
+        assert not report.ok
+        assert any("not a source" in v for v in report.violations)
+
+    def test_wrong_destination_flagged(self, diamond_graph):
+        result = make_result([Path(1.0, (0, 1))])
+        report = validate_result(diamond_graph, result, [0], [3], 1)
+        assert any("not a destination" in v for v in report.violations)
+
+    def test_wrong_length_flagged(self, diamond_graph):
+        result = make_result([Path(99.0, (0, 1, 3))])
+        report = validate_result(diamond_graph, result, [0], [3], 1)
+        assert any("edges sum" in v for v in report.violations)
+
+    def test_non_path_flagged(self, diamond_graph):
+        result = make_result([Path(1.0, (0, 3))])  # edge (0,3) does not exist
+        report = validate_result(diamond_graph, result, [0], [3], 1)
+        assert any("not a path" in v for v in report.violations)
+
+    def test_revisit_flagged(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        result = make_result([Path(3.0, (0, 1, 0, 1))])
+        report = validate_result(g, result, [0], [1], 1)
+        assert any("revisits" in v for v in report.violations)
+
+    def test_decreasing_lengths_flagged(self, diamond_graph):
+        result = make_result([Path(3.0, (0, 2, 3)), Path(2.0, (0, 1, 3))])
+        report = validate_result(diamond_graph, result, [0], [3], 2)
+        assert any("decrease" in v for v in report.violations)
+
+    def test_duplicates_flagged(self, diamond_graph):
+        result = make_result([Path(2.0, (0, 1, 3)), Path(2.0, (0, 1, 3))])
+        report = validate_result(diamond_graph, result, [0], [3], 2)
+        assert any("duplicate" in v for v in report.violations)
+
+    def test_too_many_paths_flagged(self, diamond_graph):
+        result = make_result([Path(2.0, (0, 1, 3)), Path(3.0, (0, 2, 3))])
+        report = validate_result(diamond_graph, result, [0], [3], 1)
+        assert any("k=1" in v for v in report.violations)
+
+    def test_raise_if_invalid(self, diamond_graph):
+        result = make_result([Path(99.0, (0, 1, 3))])
+        report = validate_result(diamond_graph, result, [0], [3], 1)
+        with pytest.raises(AssertionError, match="invalid query result"):
+            report.raise_if_invalid()
+
+
+class TestValidateAgainstOracle:
+    def test_correct_answer_passes(self, diamond_graph):
+        result = make_result([Path(2.0, (0, 1, 3)), Path(3.0, (0, 2, 3))])
+        report = validate_against_oracle(diamond_graph, result, [0], [3], 2)
+        assert report.ok
+
+    def test_suboptimal_answer_flagged(self, diamond_graph):
+        # Claims the longer route is the best.
+        result = make_result([Path(3.0, (0, 2, 3))])
+        report = validate_against_oracle(diamond_graph, result, [0], [3], 1)
+        assert any("oracle" in v for v in report.violations)
+
+    def test_missing_paths_flagged(self, diamond_graph):
+        result = make_result([Path(2.0, (0, 1, 3))])
+        report = validate_against_oracle(diamond_graph, result, [0], [3], 2)
+        assert any("expected 2 paths" in v for v in report.violations)
+
+    def test_multi_source(self, line_graph):
+        solver = KPJSolver(line_graph, landmarks=None)
+        result = solver.join(sources=[0, 4], destinations=[2], k=2)
+        report = validate_against_oracle(line_graph, result, [0, 4], [2], 2)
+        assert report.ok
