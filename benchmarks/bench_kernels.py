@@ -5,14 +5,28 @@ built from, so a regression here explains a regression everywhere:
 full Dijkstra, goal-directed A*, bounded A* (TestLB), the full-SPT
 build (DA-SPT's fixed cost), the per-query Eq. (2) bound vector, and
 the batch-API saving from reusing it.
+
+``test_kernel_comparison_report`` additionally times the ``dict``
+vs ``flat`` kernels head-to-head, checks the results agree, and
+writes a machine-readable summary to
+``benchmarks/results/BENCH_kernels.json`` (queries/sec per kernel
+plus the speedup ratio).
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
 
 from repro.bench.harness import solver_for, workload_for
 from repro.pathing.astar import astar_path, bounded_astar_path
 from repro.pathing.dijkstra import single_source_distances
 from repro.pathing.spt import build_spt_to_target
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def _setup():
@@ -104,3 +118,99 @@ def test_prepared_batch_queries(benchmark):
             prepared.top_k(source, k=20)
 
     benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+# ----------------------------------------------------------------------
+# dict vs flat kernel comparison
+# ----------------------------------------------------------------------
+
+
+def test_flat_dijkstra_full_sssp(benchmark):
+    """The flat-kernel counterpart of ``test_dijkstra_full_sssp``."""
+    network, _, workload = _setup()
+    source = workload.group("Q3")[0]
+    # Prime the CSR export so the benchmark measures the solve alone.
+    single_source_distances(network.graph, source, kernel="flat")
+    benchmark.pedantic(
+        lambda: single_source_distances(network.graph, source, kernel="flat"),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_flat_full_spt_build(benchmark):
+    """The flat-kernel counterpart of ``test_full_spt_build``."""
+    from repro.graph.virtual import build_query_graph
+
+    network, _, workload = _setup()
+    source = workload.group("Q3")[0]
+    qg = build_query_graph(
+        network.graph, (source,), network.categories.nodes_of("T2")
+    )
+    build_spt_to_target(qg.graph, qg.target, kernel="flat")
+    benchmark.pedantic(
+        lambda: build_spt_to_target(qg.graph, qg.target, kernel="flat"),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def _time_kernel(fn, rounds: int) -> float:
+    """Best-of-``rounds`` wall-clock seconds for one call of ``fn``."""
+    fn()  # warmup (also primes lazy CSR/landmark caches)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_comparison_report():
+    """Time dict vs flat SSSP/SPT on COL and write BENCH_kernels.json.
+
+    Also asserts the two substrates agree on every distance, so the
+    speedup numbers are for *identical* answers.
+    """
+    network, _, workload = _setup()
+    sources = workload.group("Q3")[:3]
+
+    dist_dict = single_source_distances(network.graph, sources[0], kernel="dict")
+    dist_flat = single_source_distances(network.graph, sources[0], kernel="flat")
+    assert np.array_equal(
+        np.asarray(dist_dict), np.asarray(dist_flat)
+    ), "flat and dict SSSP disagree on COL"
+
+    report = {"dataset": "COL", "n": network.graph.n, "kernels": {}}
+    for kernel in ("dict", "flat"):
+
+        def run(kernel=kernel):
+            for source in sources:
+                single_source_distances(network.graph, source, kernel=kernel)
+
+        seconds = _time_kernel(run, rounds=3)
+        report["kernels"][kernel] = {
+            "sssp_seconds_per_query": seconds / len(sources),
+            "sssp_queries_per_s": len(sources) / seconds,
+        }
+
+    ratio = (
+        report["kernels"]["dict"]["sssp_seconds_per_query"]
+        / report["kernels"]["flat"]["sssp_seconds_per_query"]
+    )
+    report["flat_speedup_over_dict"] = ratio
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_kernels.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nflat vs dict SSSP on COL: {ratio:.2f}x  -> {out}")
+
+    from repro.pathing.flat import HAVE_SCIPY
+
+    if HAVE_SCIPY:
+        assert ratio >= 2.0, (
+            f"flat kernel only {ratio:.2f}x over dict on COL SSSP "
+            "(acceptance floor is 2x)"
+        )

@@ -3,12 +3,18 @@
 Subcommands::
 
     kpj query    --dataset CAL --source 12 --category Lake --k 10
+    kpj batch    --dataset CAL --category Lake --sources 1,2,3 --workers 4
     kpj datasets
     kpj bench    --figure fig7 [--queries 3]
 
 ``query`` answers one KPJ query on a named dataset and prints the
-paths; ``datasets`` lists the registry (Table-1 style); ``bench``
-reproduces one figure and prints its table.
+paths; ``batch`` answers a whole workload (optionally across a worker
+pool) and reports throughput; ``datasets`` lists the registry
+(Table-1 style); ``bench`` reproduces one figure and prints its
+table.  ``--kernel flat`` switches any query-answering subcommand to
+the CSR flat-array search substrate, and ``--stats`` prints the
+instrumentation counters (search work, kernel dispatches, prepared-
+cache hits/misses) next to the answers.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.bench import experiments
 from repro.bench.reporting import format_figure
 from repro.core.kpj import ALGORITHMS, DEFAULT_ALGORITHM, KPJSolver
 from repro.datasets.registry import available_datasets, road_network
+from repro.pathing.kernels import KERNELS
 
 __all__ = ["main", "build_parser"]
 
@@ -56,7 +63,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--landmarks", type=int, default=16)
     query.add_argument(
+        "--kernel", default="dict", choices=KERNELS, help="search substrate"
+    )
+    query.add_argument(
+        "--stats", action="store_true", help="print instrumentation counters"
+    )
+    query.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    batch = sub.add_parser(
+        "batch", help="answer a query workload, optionally in parallel"
+    )
+    batch.add_argument("--dataset", required=True, choices=available_datasets())
+    batch.add_argument("--category", required=True)
+    src_group = batch.add_mutually_exclusive_group(required=True)
+    src_group.add_argument(
+        "--sources", help="comma-separated source node ids"
+    )
+    src_group.add_argument(
+        "--random-sources",
+        type=int,
+        metavar="N",
+        help="sample N random source nodes instead of listing them",
+    )
+    batch.add_argument("--seed", type=int, default=0, help="sampling seed")
+    batch.add_argument("--k", type=int, default=10)
+    batch.add_argument(
+        "--algorithm", default=DEFAULT_ALGORITHM, choices=sorted(ALGORITHMS)
+    )
+    batch.add_argument("--landmarks", type=int, default=16)
+    batch.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = sequential)"
+    )
+    batch.add_argument(
+        "--kernel", default="dict", choices=KERNELS, help="search substrate"
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="print aggregate counters"
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="emit all results as JSON"
     )
 
     sub.add_parser("datasets", help="list datasets (Table 1)")
@@ -86,12 +133,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_stats(stats) -> None:
+    """Render instrumentation counters, one aligned line per field."""
+    print("stats:")
+    for name, value in stats.as_dict().items():
+        print(f"  {name:<28} {value}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = road_network(args.dataset)
     if args.source < 0 or args.source >= dataset.n:
         print(f"source must be in [0, {dataset.n})", file=sys.stderr)
         return 2
-    solver = KPJSolver(dataset.graph, dataset.categories, landmarks=args.landmarks)
+    solver = KPJSolver(
+        dataset.graph,
+        dataset.categories,
+        landmarks=args.landmarks,
+        kernel=args.kernel,
+    )
     result = solver.top_k(
         args.source, category=args.category, k=args.k, algorithm=args.algorithm
     )
@@ -102,13 +161,101 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     print(
         f"top-{args.k} paths from node {args.source} to category "
-        f"{args.category!r} on {args.dataset} ({args.algorithm}):"
+        f"{args.category!r} on {args.dataset} ({args.algorithm}, "
+        f"{args.kernel} kernel):"
     )
     for rank, path in enumerate(result.paths, start=1):
         nodes = " -> ".join(str(v) for v in path.nodes)
         print(f"{rank:3d}. length {path.length:10.4f}  {nodes}")
     if not result.paths:
         print("  (no path found)")
+    if args.stats:
+        _print_stats(result.stats)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.stats import SearchStats
+    from repro.server.pool import BatchQuery
+
+    dataset = road_network(args.dataset)
+    if args.sources is not None:
+        try:
+            sources = [int(s) for s in args.sources.split(",") if s.strip()]
+        except ValueError:
+            print("--sources must be comma-separated integers", file=sys.stderr)
+            return 2
+    else:
+        import random
+
+        rng = random.Random(args.seed)
+        sources = [rng.randrange(dataset.n) for _ in range(args.random_sources)]
+    if not sources:
+        print("batch needs at least one source", file=sys.stderr)
+        return 2
+    for source in sources:
+        if source < 0 or source >= dataset.n:
+            print(f"source {source} must be in [0, {dataset.n})", file=sys.stderr)
+            return 2
+    solver = KPJSolver(
+        dataset.graph,
+        dataset.categories,
+        landmarks=args.landmarks,
+        kernel=args.kernel,
+    )
+    queries = [
+        BatchQuery(
+            source=source,
+            category=args.category,
+            k=args.k,
+            algorithm=args.algorithm,
+        )
+        for source in sources
+    ]
+    start = time.perf_counter()
+    results = solver.solve_batch(queries, workers=args.workers)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "dataset": args.dataset,
+                    "category": args.category,
+                    "workers": args.workers,
+                    "kernel": args.kernel,
+                    "elapsed_s": elapsed,
+                    "queries_per_s": len(results) / elapsed if elapsed else 0.0,
+                    "results": [
+                        {"source": q.source, **r.to_dict()}
+                        for q, r in zip(queries, results)
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{len(results)} queries to category {args.category!r} on "
+        f"{args.dataset} ({args.algorithm}, {args.kernel} kernel, "
+        f"workers={args.workers}):"
+    )
+    for query, result in zip(queries, results):
+        best = f"{result.paths[0].length:.4f}" if result.paths else "-"
+        print(
+            f"  source {query.source:>6}: {result.k_found:>3} paths, "
+            f"best {best}"
+        )
+    throughput = len(results) / elapsed if elapsed else 0.0
+    print(f"elapsed {elapsed * 1000.0:.1f}ms  ({throughput:.1f} queries/s)")
+    if args.stats:
+        total = SearchStats()
+        for result in results:
+            total.merge(result.stats)
+        _print_stats(total)
     return 0
 
 
@@ -206,6 +353,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "datasets":
         return _cmd_datasets(args)
     if args.command == "bench":

@@ -7,6 +7,23 @@ paper), then issue any number of queries.  Each query builds the
 ``G_Q`` overlay, derives the per-query landmark bound vectors, runs
 the selected algorithm, and strips virtual nodes from the results.
 
+Two serving-oriented layers sit on top of the per-query path:
+
+* a bounded **prepared-category cache** — the destination-set
+  artefacts that do not depend on the query source (the ``G_Q``
+  overlay, its CSR export, the Eq. (2) target-bound vector, and the
+  backward SPT seed) are memoised per ``(destination set,
+  landmark configuration)`` and reused across queries, with hit/miss
+  counters surfaced in :class:`~repro.core.stats.SearchStats`;
+* a **batch API** — :meth:`KPJSolver.solve_batch` answers a list of
+  queries, optionally sharded across a process pool
+  (:mod:`repro.server.pool`), returning results in submission order.
+
+The ``kernel`` knob selects the search substrate for every algorithm:
+``"dict"`` (pure-CPython dicts and tuple adjacency, the default) or
+``"flat"`` (CSR flat-array kernels, scipy-accelerated where
+available); see :mod:`repro.pathing.kernels`.
+
 Algorithm registry names (paper names in parentheses):
 
 ========================  =======================================
@@ -22,6 +39,7 @@ Algorithm registry names (paper names in parentheses):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -37,7 +55,8 @@ from repro.exceptions import QueryError
 from repro.graph.categories import CategoryIndex
 from repro.graph.digraph import DiGraph
 from repro.graph.virtual import QueryGraph, build_query_graph
-from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex
+from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex, TargetBounds
+from repro.pathing.kernels import KERNELS, use_kernel
 
 __all__ = [
     "KPJSolver",
@@ -128,6 +147,15 @@ class KPJSolver:
     landmark_strategy, seed:
         Forwarded to :meth:`LandmarkIndex.build` when ``landmarks``
         is an ``int``.
+    kernel:
+        Search substrate every query runs on: ``"dict"`` (default) or
+        ``"flat"`` (CSR flat-array kernels).  Results are identical;
+        only the speed profile changes.
+    prepared_cache_size:
+        Number of prepared destination sets kept in the LRU
+        cross-query cache (``0`` disables caching).  Each entry holds
+        the Eq. (2) bound vector (``O(n)`` floats) and, lazily, the
+        ``G_Q`` overlay and its CSR export.
 
     Example
     -------
@@ -144,14 +172,29 @@ class KPJSolver:
         landmarks: LandmarkIndex | int | None = 16,
         landmark_strategy: str = "farthest",
         seed: int = 0,
+        kernel: str = "dict",
+        prepared_cache_size: int = 32,
     ) -> None:
         if not graph.frozen:
             graph.freeze()
+        if kernel not in KERNELS:
+            raise QueryError(
+                f"unknown kernel {kernel!r}; choose one of: {', '.join(KERNELS)}"
+            )
+        if prepared_cache_size < 0:
+            raise QueryError(
+                f"prepared_cache_size must be >= 0, got {prepared_cache_size}"
+            )
         self.graph = graph
         self.categories = categories
+        self.kernel = kernel
+        self.prepared_cache_size = prepared_cache_size
+        self._prepared_cache: OrderedDict[tuple, PreparedCategory] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
         if isinstance(landmarks, int):
             self.landmark_index: LandmarkIndex | None = LandmarkIndex.build(
-                graph, landmarks, strategy=landmark_strategy, seed=seed
+                graph, landmarks, strategy=landmark_strategy, seed=seed, kernel=kernel
             )
         else:
             self.landmark_index = landmarks
@@ -203,6 +246,28 @@ class KPJSolver:
         source_nodes = self._resolve(source_category, sources, "source")
         return self._solve(source_nodes, category, destinations, k, algorithm, alpha)
 
+    def solve_batch(
+        self,
+        queries: Sequence,
+        workers: int = 1,
+    ) -> list[QueryResult]:
+        """Answer a list of queries, optionally across a process pool.
+
+        Each query is a :class:`~repro.server.pool.BatchQuery` or a
+        mapping with the same fields (``source`` required;
+        ``category``/``destinations``, ``k``, ``algorithm``, ``alpha``
+        optional).  With ``workers > 1`` the list is sharded across a
+        ``multiprocessing`` pool — the graph, landmark index, and
+        warmed prepared-category cache are shipped once per worker via
+        fork — and results stream back **in submission order**,
+        identical to what sequential solving returns.  See
+        :mod:`repro.server.pool` for the sharding details and the
+        platforms where the pool falls back to sequential execution.
+        """
+        from repro.server.pool import run_batch
+
+        return run_batch(self, queries, workers=workers)
+
     def prepare(
         self,
         category: str | None = None,
@@ -210,18 +275,26 @@ class KPJSolver:
     ) -> "PreparedCategory":
         """Pre-resolve a destination set for a batch of queries.
 
-        The Eq. (2) target-bound vector depends only on the
-        destination set; preparing it once and issuing many
-        ``top_k`` calls against the handle skips the ``O(|L| n)``
-        per-query initialisation (the paper's "computed once for each
-        query" step, hoisted across a workload).
+        The returned handle shares the solver's prepared-category
+        cache: the Eq. (2) target-bound vector, the ``G_Q`` overlay
+        (and its CSR export under the flat kernel), and the backward
+        SPT seed are computed once per ``(destination set, landmark
+        configuration)`` and reused by every ``top_k`` / ``join``
+        issued against the handle *or* directly against the solver —
+        the paper's "computed once for each query" step, hoisted
+        across the workload.
         """
         dest = self._resolve(category, destinations, "destination")
-        if self.landmark_index is not None:
-            target_bounds = self.landmark_index.to_target_bounds(dest)
-        else:
-            target_bounds = ZERO_BOUNDS
-        return PreparedCategory(self, dest, target_bounds)
+        return self._prepared(self._canonical_destinations(dest), None)
+
+    def cache_info(self) -> dict[str, int]:
+        """Prepared-category cache occupancy, bound, and lifetime counters."""
+        return {
+            "entries": len(self._prepared_cache),
+            "size_bound": self.prepared_cache_size,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+        }
 
     # ------------------------------------------------------------------
     # Internals
@@ -244,6 +317,47 @@ class KPJSolver:
             )
         return self.categories.nodes_of(category)
 
+    def _canonical_destinations(self, destinations: Sequence[int]) -> tuple[int, ...]:
+        """Deduplicated, sorted, range-checked destination tuple."""
+        if not destinations:
+            raise QueryError("query needs at least one destination node")
+        n = self.graph.n
+        for node in destinations:
+            if not 0 <= node < n:
+                raise QueryError(f"query node {node} out of range [0, {n})")
+        return tuple(sorted(set(destinations)))
+
+    def _prepared(
+        self, dest: tuple[int, ...], stats: SearchStats | None
+    ) -> "PreparedCategory":
+        """Fetch or build the prepared artefacts for ``dest`` (LRU).
+
+        The cache key is the canonical destination tuple plus the
+        landmark configuration — a different landmark set implies
+        different bound vectors, so the two must never alias.  Hit and
+        miss counters are recorded on ``stats`` when given.
+        """
+        lm = self.landmark_index
+        key = (dest, lm.landmarks if lm is not None else None)
+        cache = self._prepared_cache
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            self._cache_hits += 1
+            if stats is not None:
+                stats.prepared_cache_hits += 1
+            return hit
+        self._cache_misses += 1
+        if stats is not None:
+            stats.prepared_cache_misses += 1
+        bounds = lm.to_target_bounds(dest) if lm is not None else ZERO_BOUNDS
+        prepared = PreparedCategory(self, dest, bounds)
+        if self.prepared_cache_size > 0:
+            cache[key] = prepared
+            while len(cache) > self.prepared_cache_size:
+                cache.popitem(last=False)
+        return prepared
+
     def _solve(
         self,
         sources: tuple[int, ...],
@@ -252,7 +366,8 @@ class KPJSolver:
         k: int,
         algorithm: str,
         alpha: float,
-        prepared_bounds: Callable[[int], float] | None = None,
+        prepared: "PreparedCategory | None" = None,
+        target_bounds: Callable[[int], float] | None = None,
     ) -> QueryResult:
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
@@ -263,18 +378,24 @@ class KPJSolver:
             raise QueryError(
                 f"unknown algorithm {algorithm!r}; choose one of: {known}"
             ) from None
-        dest = self._resolve(category, destinations, "destination")
-        qg = build_query_graph(self.graph, sources, dest)
         stats = SearchStats()
-        if self.landmark_index is not None:
-            target_bounds = (
-                prepared_bounds
-                if prepared_bounds is not None
-                else self.landmark_index.to_target_bounds(qg.destinations)
+        if prepared is None:
+            dest = self._canonical_destinations(
+                self._resolve(category, destinations, "destination")
             )
+            prepared = self._prepared(dest, stats)
+        else:
+            self._cache_hits += 1
+            stats.prepared_cache_hits += 1
+        if len(set(sources)) == 1:
+            qg = prepared.query_graph_for(sources[0])
+        else:
+            qg = build_query_graph(self.graph, sources, prepared.destinations)
+        if target_bounds is None:
+            target_bounds = prepared.target_bounds
+        if self.landmark_index is not None:
             source_bounds = self.landmark_index.from_source_bounds(qg.sources)
         else:
-            target_bounds = ZERO_BOUNDS
             source_bounds = ZERO_BOUNDS
         ctx = QueryContext(
             target_bounds=target_bounds,
@@ -282,16 +403,21 @@ class KPJSolver:
             alpha=alpha,
             stats=stats,
         )
-        raw = run(qg, k, ctx)
+        with use_kernel(self.kernel):
+            raw = run(qg, k, ctx)
         paths = [Path(length=p.length, nodes=qg.strip(p.nodes)) for p in raw]
         return QueryResult(paths=paths, algorithm=algorithm, stats=stats)
 
 
 class PreparedCategory:
-    """A destination set with its target-bound vector precomputed.
+    """One destination set's source-independent query artefacts.
 
-    Produced by :meth:`KPJSolver.prepare`; issue any number of
-    ``top_k`` / ``join`` calls without re-deriving the Eq. (2) bounds.
+    Produced by :meth:`KPJSolver.prepare` (or internally by the
+    solver's LRU cache); issue any number of ``top_k`` / ``join``
+    calls without re-deriving the Eq. (2) bounds, the ``G_Q`` overlay,
+    or the backward SPT.  Everything beyond the bound vector is built
+    lazily on first use, so an entry costs ``O(n)`` floats until a
+    query actually needs more.
     """
 
     def __init__(
@@ -302,16 +428,97 @@ class PreparedCategory:
     ) -> None:
         self._solver = solver
         self.destinations = destinations
-        self._target_bounds = target_bounds
+        self.target_bounds = target_bounds
+        self._gq_graph: DiGraph | None = None
+        self._backward_spt = None
 
+    # -- cached artefacts ------------------------------------------------
+    def query_graph_for(self, source: int) -> QueryGraph:
+        """The single-source :class:`QueryGraph` for ``source``.
+
+        The underlying ``G_Q`` overlay (base graph plus virtual
+        target) does not depend on the source, so it is built once and
+        shared by every KPJ/KSP query against this destination set;
+        only the tiny :class:`QueryGraph` wrapper is per-query.
+        """
+        base = self._solver.graph
+        if not 0 <= source < base.n:
+            raise QueryError(f"query node {source} out of range [0, {base.n})")
+        if self._gq_graph is None:
+            self._gq_graph = build_query_graph(
+                base, (source,), self.destinations
+            ).graph
+        return QueryGraph(
+            base=base,
+            graph=self._gq_graph,
+            source=source,
+            target=base.n,
+            destinations=self.destinations,
+            sources=(source,),
+        )
+
+    def csr_overlay(self):
+        """CSR export of the ``G_Q`` overlay, cached on the overlay.
+
+        This is what the flat kernels run on; materialising it here
+        (rather than per query) is the cross-query saving.
+        """
+        from repro.graph.csr import shared_csr
+
+        if self._gq_graph is None:
+            # Any in-range source materialises the source-independent rows.
+            self._gq_graph = build_query_graph(
+                self._solver.graph, (self.destinations[0],), self.destinations
+            ).graph
+        return shared_csr(self._gq_graph)
+
+    def backward_spt(self):
+        """Full backward SPT toward the virtual target, cached.
+
+        ``dist[v]`` is the *exact* distance from ``v`` to the nearest
+        destination — the tightest possible target bound (it dominates
+        the Eq. (2) landmark estimate, Prop. 5.1) and the seed from
+        which partial-SPT variants can be answered without a fresh
+        backward search.
+        """
+        from repro.pathing.spt import build_spt_to_target
+
+        if self._backward_spt is None:
+            overlay = self.csr_overlay()  # ensures the overlay graph exists
+            del overlay
+            self._backward_spt = build_spt_to_target(
+                self._gq_graph, self._solver.graph.n, kernel=self._solver.kernel
+            )
+        return self._backward_spt
+
+    def exact_target_bounds(self) -> TargetBounds:
+        """A :class:`TargetBounds` built from :meth:`backward_spt`.
+
+        Exact distances are valid, consistent A* heuristics on
+        ``G_Q``, so they can replace the landmark vector wherever it
+        is accepted — results are identical, exploration is minimal.
+        """
+        import numpy as np
+
+        spt = self.backward_spt()
+        return TargetBounds(np.asarray(spt.dist[: self._solver.graph.n]))
+
+    # -- queries ---------------------------------------------------------
     def top_k(
         self,
         source: int,
         k: int = 10,
         algorithm: str = DEFAULT_ALGORITHM,
         alpha: float = 1.1,
+        exact_bounds: bool = False,
     ) -> QueryResult:
-        """KPJ query against the prepared destination set."""
+        """KPJ query against the prepared destination set.
+
+        ``exact_bounds=True`` swaps the Eq. (2) landmark vector for
+        the cached backward-SPT distances (see
+        :meth:`exact_target_bounds`).
+        """
+        bounds = self.exact_target_bounds() if exact_bounds else None
         return self._solver._solve(
             (source,),
             None,
@@ -319,7 +526,8 @@ class PreparedCategory:
             k,
             algorithm,
             alpha,
-            prepared_bounds=self._target_bounds,
+            prepared=self,
+            target_bounds=bounds,
         )
 
     def join(
@@ -337,5 +545,5 @@ class PreparedCategory:
             k,
             algorithm,
             alpha,
-            prepared_bounds=self._target_bounds,
+            prepared=self,
         )

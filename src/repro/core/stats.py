@@ -39,6 +39,14 @@ class SearchStats:
         Subspaces produced by division / subspaces discarded without a
         shortest-path computation (empty or still unresolved when the
         k-th path was confirmed).
+    dict_kernel_calls / flat_kernel_calls:
+        Kernel dispatches per substrate — how many constrained
+        searches / SPT builds ran on the dict arrangement vs the
+        flat CSR arrays (see :mod:`repro.pathing.kernels`).
+    prepared_cache_hits / prepared_cache_misses:
+        Whether this query's destination set was served from the
+        solver's prepared-category cache (bounds + ``G_Q`` overlay
+        reused) or had to be derived from scratch.
     """
 
     shortest_path_computations: int = 0
@@ -50,6 +58,10 @@ class SearchStats:
     spt_nodes: int = 0
     subspaces_created: int = 0
     subspaces_pruned: int = 0
+    dict_kernel_calls: int = 0
+    flat_kernel_calls: int = 0
+    prepared_cache_hits: int = 0
+    prepared_cache_misses: int = 0
 
     def merge(self, other: "SearchStats") -> "SearchStats":
         """Add another stats object into this one (returns self)."""

@@ -40,7 +40,7 @@ class DiGraph:
     simple path.
     """
 
-    __slots__ = ("_n", "_m", "_adj", "_radj", "_frozen", "_max_weight")
+    __slots__ = ("_n", "_m", "_adj", "_radj", "_frozen", "_max_weight", "_csr")
 
     def __init__(self, n: int) -> None:
         if n < 0:
@@ -51,6 +51,7 @@ class DiGraph:
         self._radj: list[list[tuple[int, float]]] | None = None
         self._frozen = False
         self._max_weight = 0.0
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -196,6 +197,21 @@ class DiGraph:
             self._radj = radj
         return self._radj
 
+    @property
+    def csr_cache(self):
+        """Cached CSR snapshot set by :func:`repro.graph.csr.shared_csr`.
+
+        ``None`` until the first flat-kernel call touches this graph;
+        only frozen graphs may carry one (mutation would invalidate it).
+        """
+        return self._csr
+
+    @csr_cache.setter
+    def csr_cache(self, snapshot) -> None:
+        if not self._frozen:
+            raise GraphError("only frozen graphs can cache a CSR snapshot")
+        self._csr = snapshot
+
     def reversed_copy(self) -> "DiGraph":
         """A new frozen :class:`DiGraph` with every edge direction flipped."""
         rg = DiGraph(self._n)
@@ -270,6 +286,7 @@ class DiGraph:
         g._radj = reverse_rows
         g._frozen = True
         g._max_weight = max_weight
+        g._csr = None
         return g
 
 
@@ -299,6 +316,11 @@ class ReversedView:
     def m(self) -> int:
         """Number of edges."""
         return self._g.m
+
+    @property
+    def underlying(self) -> "DiGraph":
+        """The forward-orientation graph this view reverses."""
+        return self._g
 
     @property
     def frozen(self) -> bool:

@@ -21,6 +21,7 @@ from typing import Callable, Collection
 
 from repro.graph.digraph import DiGraph
 from repro.pathing.dijkstra import reconstruct_path
+from repro.pathing.kernels import resolve_kernel
 
 __all__ = ["astar_path", "bounded_astar_path"]
 
@@ -36,6 +37,7 @@ def astar_path(
     banned_first_hops: Collection[int] = (),
     initial_distance: float = 0.0,
     stats=None,
+    kernel: str | None = None,
 ) -> tuple[tuple[int, ...], float] | None:
     """A* from ``source`` to ``target`` under subspace constraints.
 
@@ -43,7 +45,8 @@ def astar_path(
     :func:`repro.pathing.dijkstra.constrained_shortest_path` (same
     ``blocked`` / ``banned_first_hops`` / ``initial_distance``
     contract) but the queue is ordered by ``g + h``, shrinking the
-    explored area when the heuristic is informative.
+    explored area when the heuristic is informative.  ``kernel``
+    selects the substrate (``"dict"``/``"flat"``; ``None`` = ambient).
     """
     result = bounded_astar_path(
         graph,
@@ -55,6 +58,7 @@ def astar_path(
         banned_first_hops=banned_first_hops,
         initial_distance=initial_distance,
         stats=stats,
+        kernel=kernel,
     )
     return result
 
@@ -70,6 +74,7 @@ def bounded_astar_path(
     initial_distance: float = 0.0,
     stats=None,
     info: dict | None = None,
+    kernel: str | None = None,
 ) -> tuple[tuple[int, ...], float] | None:
     """A* that refuses to enqueue nodes whose ``g + h`` exceeds ``bound``.
 
@@ -86,9 +91,34 @@ def bounded_astar_path(
     subspace empty — the iteratively-bounding driver uses this to
     retire dead subspaces instead of growing ``τ`` forever.
 
+    With ``kernel="flat"`` the identical search runs over the graph's
+    cached CSR arrays (:func:`repro.pathing.flat.flat_bounded_astar_path`)
+    with pooled scratch buffers; results and ``info`` semantics match
+    the dict substrate exactly.
+
     Returns ``(path, length)`` — lengths include ``initial_distance``
     — or ``None``.
     """
+    if resolve_kernel(kernel) == "flat":
+        from repro.graph.csr import shared_csr
+        from repro.pathing.flat import flat_bounded_astar_path
+
+        if stats is not None:
+            stats.flat_kernel_calls += 1
+        return flat_bounded_astar_path(
+            shared_csr(graph),
+            source,
+            target,
+            heuristic,
+            bound,
+            blocked=blocked,
+            banned_first_hops=banned_first_hops,
+            initial_distance=initial_distance,
+            stats=stats,
+            info=info,
+        )
+    if stats is not None:
+        stats.dict_kernel_calls += 1
     if info is not None:
         info["pruned"] = False
     if target == source:

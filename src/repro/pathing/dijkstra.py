@@ -1,14 +1,22 @@
 """Dijkstra's algorithm and constrained variants.
 
-These are the workhorse kernels.  They operate directly on the raw
-adjacency lists of a :class:`~repro.graph.digraph.DiGraph` (lists of
-``(v, w)`` tuples) with ``heapq`` and lazy deletion — the fastest
-arrangement available in pure CPython.
+These are the workhorse kernels.  By default they operate directly on
+the raw adjacency lists of a :class:`~repro.graph.digraph.DiGraph`
+(lists of ``(v, w)`` tuples) with ``heapq`` and lazy deletion — the
+fastest arrangement available in pure CPython.  Every entry point also
+accepts ``kernel="flat"`` to run the equivalent search from
+:mod:`repro.pathing.flat` over the graph's cached CSR arrays instead
+(scipy-accelerated where available); ``kernel=None`` defers to the
+ambient selection of :mod:`repro.pathing.kernels`.
 
 The constrained variant is what subspace search needs: a set of
 *blocked* nodes (the prefix ``P_{s,u}`` minus its endpoint, which may
 not be re-entered) and a set of *banned first hops* out of the start
 node (the excluded edge set ``X_u`` of a subspace).
+
+Cutoff semantics are **inclusive**: a node whose shortest distance is
+exactly ``cutoff`` is settled and reported; only nodes strictly beyond
+it keep ``inf``.  Both substrates share this boundary behaviour.
 """
 
 from __future__ import annotations
@@ -16,7 +24,9 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Collection, Sequence
 
+from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
+from repro.pathing.kernels import resolve_kernel
 
 __all__ = [
     "single_source_distances",
@@ -30,25 +40,40 @@ INF = float("inf")
 
 
 def single_source_distances(
-    graph: DiGraph, source: int, cutoff: float = INF
+    graph: DiGraph, source: int, cutoff: float = INF, kernel: str | None = None
 ) -> list[float]:
     """Distances from ``source`` to every node (``inf`` if unreachable).
 
     ``cutoff`` stops the search once the frontier exceeds that value;
-    nodes beyond it keep distance ``inf``.
+    nodes at distance exactly ``cutoff`` are still settled (inclusive
+    boundary), nodes strictly beyond it keep distance ``inf``.
+    ``kernel`` selects the search substrate (``"dict"``/``"flat"``;
+    ``None`` = ambient).
     """
-    return multi_source_distances(graph, (source,), cutoff=cutoff)
+    return multi_source_distances(graph, (source,), cutoff=cutoff, kernel=kernel)
 
 
 def multi_source_distances(
-    graph: DiGraph, sources: Sequence[int], cutoff: float = INF
+    graph: DiGraph,
+    sources: Sequence[int],
+    cutoff: float = INF,
+    kernel: str | None = None,
 ) -> list[float]:
     """Distances from the nearest of ``sources`` to every node.
 
     Used to stratify query workloads (distance from each node to a
     destination category equals a multi-source run on the reverse
     graph) and to compute Eq. (2)'s per-landmark target distances.
+    The ``cutoff`` boundary is inclusive, as in
+    :func:`single_source_distances`.
     """
+    if resolve_kernel(kernel) == "flat":
+        from repro.graph.csr import shared_csr
+        from repro.pathing.flat import flat_multi_source_distances
+
+        return flat_multi_source_distances(
+            shared_csr(graph), sources, cutoff=cutoff
+        ).tolist()
     adj = graph.adjacency
     dist = [INF] * graph.n
     heap: list[tuple[float, int]] = []
@@ -70,14 +95,20 @@ def multi_source_distances(
 
 
 def shortest_path(
-    graph: DiGraph, source: int, target: int
+    graph: DiGraph, source: int, target: int, kernel: str | None = None
 ) -> tuple[tuple[int, ...], float] | None:
     """Shortest path from ``source`` to ``target``.
 
     Returns ``(path, length)`` or ``None`` if ``target`` is
-    unreachable.
+    unreachable.  With ``kernel="flat"`` equal-length ties may resolve
+    to a different (equally shortest) path than the dict kernel.
     """
-    return constrained_shortest_path(graph, source, target)
+    if resolve_kernel(kernel) == "flat":
+        from repro.graph.csr import shared_csr
+        from repro.pathing.flat import flat_shortest_path
+
+        return flat_shortest_path(shared_csr(graph), source, target)
+    return constrained_shortest_path(graph, source, target, kernel="dict")
 
 
 def constrained_shortest_path(
@@ -88,6 +119,7 @@ def constrained_shortest_path(
     banned_first_hops: Collection[int] = (),
     initial_distance: float = 0.0,
     stats=None,
+    kernel: str | None = None,
 ) -> tuple[tuple[int, ...], float] | None:
     """Dijkstra from ``source`` to ``target`` under subspace constraints.
 
@@ -95,7 +127,11 @@ def constrained_shortest_path(
     ----------
     blocked:
         Nodes that may not appear on the path (the interior of a
-        subspace prefix).  ``source`` and ``target`` must not be in it.
+        subspace prefix).  ``source`` and ``target`` must not be in it
+        — a blocked endpoint is a caller bug (the search could only
+        ever produce a constraint-violating path or a silent miss), so
+        it raises :class:`~repro.exceptions.QueryError` instead of
+        returning ``None``.
     banned_first_hops:
         Successors of ``source`` that may not be the first hop (the
         excluded edge set ``X_u``).
@@ -103,14 +139,51 @@ def constrained_shortest_path(
         Added to every reported length (the prefix weight
         ``w(P_{s,u})``), so returned lengths are full-path lengths.
     stats:
-        Optional :class:`~repro.core.stats.SearchStats`; settled-node
-        and relaxation counters are bumped when provided.
+        Optional :class:`~repro.core.stats.SearchStats`; settled-node,
+        relaxation, and kernel-dispatch counters are bumped when
+        provided.
+    kernel:
+        Search substrate (``"dict"``/``"flat"``; ``None`` = ambient).
 
     Returns
     -------
     ``(path, length)`` where ``path`` starts at ``source`` and ends at
     ``target``, or ``None`` when no path survives the constraints.
+
+    Raises
+    ------
+    QueryError
+        If ``source`` or ``target`` is in ``blocked``.
     """
+    if blocked:
+        if source in blocked:
+            raise QueryError(
+                f"search source {source} is in the blocked set; a blocked "
+                "endpoint can never lie on a constraint-satisfying path"
+            )
+        if target in blocked:
+            raise QueryError(
+                f"search target {target} is in the blocked set; a blocked "
+                "endpoint can never lie on a constraint-satisfying path"
+            )
+    chosen = resolve_kernel(kernel)
+    if chosen == "flat":
+        from repro.graph.csr import shared_csr
+        from repro.pathing.flat import flat_constrained_shortest_path
+
+        if stats is not None:
+            stats.flat_kernel_calls += 1
+        return flat_constrained_shortest_path(
+            shared_csr(graph),
+            source,
+            target,
+            blocked=blocked,
+            banned_first_hops=banned_first_hops,
+            initial_distance=initial_distance,
+            stats=stats,
+        )
+    if stats is not None:
+        stats.dict_kernel_calls += 1
     if source == target:
         return (source,), initial_distance
     adj = graph.adjacency

@@ -1,0 +1,365 @@
+"""Flat-array search kernels over CSR graphs.
+
+The dict kernels of :mod:`repro.pathing.dijkstra` and
+:mod:`repro.pathing.astar` keep per-search state in dicts and iterate
+adjacency as lists of tuples — the layout pure CPython likes best for
+small, constrained searches.  The kernels here are their flat-array
+counterparts, operating on :class:`~repro.graph.csr.CSRGraph`'s
+``indptr``/``indices``/``weights`` arrays:
+
+* The *unconstrained whole-graph* kernels — single-source /
+  multi-source distances, point-to-point shortest path, and the full
+  shortest-path-tree arrays — are delegated to
+  ``scipy.sparse.csgraph.dijkstra`` when scipy is importable (a C
+  inner loop over exactly the CSR arrays we already hold: several
+  times faster than the dict kernel).  Without scipy they fall back to
+  a python loop over the same flat arrays, so the flat kernel is
+  always available and always returns identical distances.
+* The *constrained* kernels (subspace searches with blocked nodes and
+  banned first hops, plain and bounded A*) are python loops whose
+  inner iteration indexes the flat adjacency arrays directly and
+  whose per-node state lives in preallocated, generation-stamped
+  scratch buffers (:class:`FlatScratch`) that are pooled on the
+  snapshot and reused across calls — no per-call allocation
+  proportional to ``n``, no dict hashing on the hot path.
+
+Distance parity with the dict kernels is exact, not approximate: both
+relax ``d[v] = d[u] + w`` along the same shortest paths in the same
+order, so the floating-point sums coincide bit-for-bit (the property
+tests assert this).  Cutoff semantics are shared too: a node whose
+distance is exactly ``cutoff`` **is** settled (``<=``, not ``<``).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, Collection, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "HAVE_SCIPY",
+    "FlatScratch",
+    "flat_single_source_distances",
+    "flat_multi_source_distances",
+    "flat_shortest_path",
+    "flat_spt_arrays",
+    "flat_constrained_shortest_path",
+    "flat_bounded_astar_path",
+]
+
+INF = float("inf")
+
+try:  # scipy is optional: the python fallback keeps the kernels exact.
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    HAVE_SCIPY = False
+
+
+class FlatScratch:
+    """Preallocated per-search buffers, reused across kernel calls.
+
+    ``dist``/``parent`` entries are only meaningful where ``stamp``
+    equals the current generation ``gen``; :meth:`begin` starts a new
+    search by bumping the generation instead of clearing ``O(n)``
+    memory.  Instances are pooled on the CSR snapshot
+    (:func:`acquire_scratch` / :func:`release_scratch`), so nested or
+    back-to-back searches on one graph never fight over buffers and
+    never reallocate.
+    """
+
+    __slots__ = ("n", "dist", "parent", "stamp", "gen")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.dist: list[float] = [INF] * n
+        self.parent: list[int] = [-1] * n
+        self.stamp: list[int] = [0] * n
+        self.gen = 0
+
+    def begin(self) -> int:
+        """Start a new search; returns the fresh generation tag."""
+        self.gen += 1
+        return self.gen
+
+
+def acquire_scratch(csr: CSRGraph) -> FlatScratch:
+    """Check a scratch buffer out of the snapshot's pool (or make one)."""
+    pool = csr._scratch_pool
+    if pool:
+        return pool.pop()
+    return FlatScratch(csr.n)
+
+
+def release_scratch(csr: CSRGraph, scratch: FlatScratch) -> None:
+    """Return a scratch buffer to the snapshot's pool for reuse."""
+    csr._scratch_pool.append(scratch)
+
+
+# ----------------------------------------------------------------------
+# Whole-graph kernels (scipy-accelerated)
+# ----------------------------------------------------------------------
+def _sparse_matrix(csr: CSRGraph):
+    """The scipy ``csr_matrix`` sharing the snapshot's arrays, cached."""
+    if csr._spmat is None:
+        mat = _csr_matrix(
+            (csr.weights, csr.indices, csr.indptr), shape=(csr.n, csr.n)
+        )
+        object.__setattr__(csr, "_spmat", mat)
+    return csr._spmat
+
+
+def flat_single_source_distances(
+    csr: CSRGraph, source: int, cutoff: float = INF
+) -> np.ndarray:
+    """Distances from ``source`` to every node as a ``float64`` array.
+
+    Nodes farther than ``cutoff`` keep ``inf``; a node at exactly
+    ``cutoff`` is settled (inclusive boundary, matching the dict
+    kernel).
+    """
+    return flat_multi_source_distances(csr, (source,), cutoff=cutoff)
+
+
+def flat_multi_source_distances(
+    csr: CSRGraph, sources: Sequence[int], cutoff: float = INF
+) -> np.ndarray:
+    """Distances from the nearest of ``sources`` to every node."""
+    srcs = sorted(set(int(s) for s in sources))
+    if HAVE_SCIPY and csr.m > 0:
+        return _scipy_dijkstra(
+            _sparse_matrix(csr),
+            directed=True,
+            indices=srcs if len(srcs) > 1 else srcs[0],
+            min_only=len(srcs) > 1,
+            limit=cutoff,
+        )
+    return _py_multi_source(csr, srcs, cutoff)
+
+
+def _py_multi_source(
+    csr: CSRGraph, sources: Sequence[int], cutoff: float
+) -> np.ndarray:
+    """Fallback python loop over the flat arrays (scipy-free)."""
+    indptr, heads, wts = csr.adjacency_lists()
+    dist = np.full(csr.n, INF)
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        if dist[s] > 0.0:
+            dist[s] = 0.0
+            heap.append((0.0, s))
+    heap.sort()
+    dl = dist.tolist()
+    while heap:
+        d, u = heappop(heap)
+        if d > dl[u] or d > cutoff:
+            continue
+        for i in range(indptr[u], indptr[u + 1]):
+            v = heads[i]
+            nd = d + wts[i]
+            if nd < dl[v] and nd <= cutoff:
+                dl[v] = nd
+                heappush(heap, (nd, v))
+    return np.asarray(dl)
+
+
+def flat_shortest_path(
+    csr: CSRGraph, source: int, target: int
+) -> tuple[tuple[int, ...], float] | None:
+    """Shortest path ``source -> target``; ``None`` if unreachable.
+
+    Equal-length ties may be broken differently from the dict kernel
+    (both answers are shortest paths of identical length).
+    """
+    if source == target:
+        return (source,), 0.0
+    if HAVE_SCIPY and csr.m > 0:
+        dist, pred = _scipy_dijkstra(
+            _sparse_matrix(csr),
+            directed=True,
+            indices=source,
+            return_predecessors=True,
+        )
+        if not np.isfinite(dist[target]):
+            return None
+        path = [target]
+        node = target
+        while node != source:
+            node = int(pred[node])
+            path.append(node)
+        path.reverse()
+        return tuple(path), float(dist[target])
+    return flat_constrained_shortest_path(csr, source, target)
+
+
+def flat_spt_arrays(
+    csr: CSRGraph, target: int
+) -> tuple[list[float], list[int]]:
+    """Full shortest-path-tree arrays toward ``target``.
+
+    Runs over the cached reverse orientation of ``csr`` and returns
+    ``(dist, next_hop)`` lists: ``dist[v]`` is the exact distance from
+    ``v`` to ``target`` (``inf`` if it cannot reach it) and
+    ``next_hop[v]`` is ``v``'s successor toward ``target`` (``-1`` at
+    the target and at unreachable nodes) — the contract of
+    :class:`repro.pathing.spt.ShortestPathTree`.
+    """
+    rev = csr.reverse()
+    if HAVE_SCIPY and rev.m > 0:
+        dist, pred = _scipy_dijkstra(
+            _sparse_matrix(rev),
+            directed=True,
+            indices=target,
+            return_predecessors=True,
+        )
+        next_hop = np.where(pred < 0, -1, pred)
+        return dist.tolist(), next_hop.astype(np.int64).tolist()
+    # Fallback: python Dijkstra over the reverse flat arrays.
+    indptr, heads, wts = rev.adjacency_lists()
+    n = rev.n
+    dist_l = [INF] * n
+    next_hop_l = [-1] * n
+    dist_l[target] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, target)]
+    while heap:
+        d, u = heappop(heap)
+        if d > dist_l[u]:
+            continue
+        for i in range(indptr[u], indptr[u + 1]):
+            v = heads[i]
+            nd = d + wts[i]
+            if nd < dist_l[v]:
+                dist_l[v] = nd
+                next_hop_l[v] = u
+                heappush(heap, (nd, v))
+    return dist_l, next_hop_l
+
+
+# ----------------------------------------------------------------------
+# Constrained kernels (python loop, flat adjacency, pooled scratch)
+# ----------------------------------------------------------------------
+def flat_constrained_shortest_path(
+    csr: CSRGraph,
+    source: int,
+    target: int,
+    blocked: Collection[int] = (),
+    banned_first_hops: Collection[int] = (),
+    initial_distance: float = 0.0,
+    stats=None,
+) -> tuple[tuple[int, ...], float] | None:
+    """Constrained Dijkstra on the flat arrays.
+
+    Same contract as
+    :func:`repro.pathing.dijkstra.constrained_shortest_path` (blocked
+    nodes, banned first hops, ``initial_distance`` added to reported
+    lengths); the inner loop indexes the CSR adjacency directly and
+    per-node state lives in pooled scratch buffers.
+    """
+    return flat_bounded_astar_path(
+        csr,
+        source,
+        target,
+        None,
+        INF,
+        blocked=blocked,
+        banned_first_hops=banned_first_hops,
+        initial_distance=initial_distance,
+        stats=stats,
+    )
+
+
+def flat_bounded_astar_path(
+    csr: CSRGraph,
+    source: int,
+    target: int,
+    heuristic: Callable[[int], float] | None,
+    bound: float,
+    blocked: Collection[int] = (),
+    banned_first_hops: Collection[int] = (),
+    initial_distance: float = 0.0,
+    stats=None,
+    info: dict | None = None,
+) -> tuple[tuple[int, ...], float] | None:
+    """Bounded A* (the ``TestLB`` kernel) on the flat arrays.
+
+    Same contract as :func:`repro.pathing.astar.bounded_astar_path`;
+    ``heuristic=None`` means the zero heuristic (plain Dijkstra).
+    ``info["pruned"]`` reports whether the ``bound`` rejected any
+    relaxation, exactly like the dict kernel.
+    """
+    if info is not None:
+        info["pruned"] = False
+    if target == source:
+        return (source,), initial_distance
+    h = heuristic
+    start_f = initial_distance + (h(source) if h is not None else 0.0)
+    if start_f > bound:
+        if info is not None:
+            info["pruned"] = True
+        return None
+    indptr, heads, wts = csr.adjacency_lists()
+    scratch = acquire_scratch(csr)
+    try:
+        gen = scratch.begin()
+        dist = scratch.dist
+        parent = scratch.parent
+        stamp = scratch.stamp
+        settled_gen = -gen  # stamp value marking "settled this search"
+        blocked_set = (
+            blocked if isinstance(blocked, (set, frozenset)) else set(blocked)
+        )
+        banned = (
+            banned_first_hops
+            if isinstance(banned_first_hops, (set, frozenset))
+            else set(banned_first_hops)
+        )
+        dist[source] = initial_distance
+        stamp[source] = gen
+        heap: list[tuple[float, int]] = [(start_f, source)]
+        while heap:
+            _, u = heappop(heap)
+            if stamp[u] == settled_gen:
+                continue
+            stamp[u] = settled_gen
+            if stats is not None:
+                stats.nodes_settled += 1
+            du = dist[u]
+            if u == target:
+                path = [target]
+                node = target
+                while node != source:
+                    node = parent[node]
+                    path.append(node)
+                path.reverse()
+                return tuple(path), du
+            at_source = u == source
+            for i in range(indptr[u], indptr[u + 1]):
+                v = heads[i]
+                if stamp[v] == settled_gen or v in blocked_set:
+                    continue
+                if at_source and v in banned:
+                    continue
+                nd = du + wts[i]
+                if stamp[v] != gen or nd < dist[v]:
+                    if h is not None:
+                        estimate = nd + h(v)
+                    else:
+                        estimate = nd
+                    if estimate > bound:
+                        if info is not None:
+                            info["pruned"] = True
+                        continue
+                    dist[v] = nd
+                    parent[v] = u
+                    stamp[v] = gen
+                    heappush(heap, (estimate, v))
+                    if stats is not None:
+                        stats.edges_relaxed += 1
+        return None
+    finally:
+        release_scratch(csr, scratch)

@@ -63,13 +63,31 @@ class ShortestPathTree:
         return self.dist[v] != INF
 
 
-def build_spt_to_target(graph: DiGraph, target: int, stats=None) -> ShortestPathTree:
+def build_spt_to_target(
+    graph: DiGraph, target: int, stats=None, kernel: str | None = None
+) -> ShortestPathTree:
     """Dijkstra on the reverse graph from ``target``: the full SPT.
 
     This is the expensive per-query step of DA-SPT; its cost is what
     Figures 7(e)–7(f) show dominating when the k shortest paths are
-    short.
+    short.  With ``kernel="flat"`` the tree arrays are produced by the
+    CSR kernel (scipy-accelerated where available); distances are
+    identical, but per-node ``stats.nodes_settled`` increments are not
+    recorded on that path (the C loop has no counter hook) — the
+    kernel-dispatch counter is bumped instead.
     """
+    from repro.pathing.kernels import resolve_kernel
+
+    if resolve_kernel(kernel) == "flat":
+        from repro.graph.csr import shared_csr
+        from repro.pathing.flat import flat_spt_arrays
+
+        if stats is not None:
+            stats.flat_kernel_calls += 1
+        dist, next_hop = flat_spt_arrays(shared_csr(graph), target)
+        return ShortestPathTree(target, dist, next_hop)
+    if stats is not None:
+        stats.dict_kernel_calls += 1
     radj = graph.reverse_adjacency()
     n = graph.n
     dist = [INF] * n

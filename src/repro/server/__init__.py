@@ -1,0 +1,11 @@
+"""Query-serving layer: batched and parallel query execution.
+
+:mod:`repro.server.pool` shards a query list across a process pool
+with the graph shipped once per worker; it backs
+:meth:`repro.core.kpj.KPJSolver.solve_batch` and the ``kpj batch``
+CLI subcommand.
+"""
+
+from repro.server.pool import BatchQuery, run_batch
+
+__all__ = ["BatchQuery", "run_batch"]

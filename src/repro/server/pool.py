@@ -1,0 +1,140 @@
+"""Batched parallel query serving over a process pool.
+
+CPython's GIL rules out thread-level parallelism for the search
+kernels, so throughput comes from processes.  The expensive state — the
+frozen graph, the landmark index, the warmed prepared-category cache —
+is shipped to each worker **once**, by forking after it is fully
+materialised in the parent (copy-on-write, no pickling of the graph),
+and only the small :class:`BatchQuery` / ``QueryResult`` objects cross
+the process boundary per query.
+
+Guarantees:
+
+* results come back **in submission order**, regardless of which
+  worker answered which query;
+* answers are identical to sequential solving — workers run exactly
+  the per-query code path of :meth:`KPJSolver.top_k` (per-query
+  ``SearchStats`` cache counters reflect each worker's own cache);
+* on platforms without the ``fork`` start method (Windows), or for
+  ``workers <= 1``, the batch degrades gracefully to sequential
+  in-process execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.exceptions import QueryError
+
+__all__ = ["BatchQuery", "run_batch"]
+
+#: Module-global solver inherited by forked workers (set around the
+#: pool's lifetime; never used by the sequential path).
+_WORKER_SOLVER = None
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One KPJ/KSP query of a batch workload.
+
+    ``category`` and ``destinations`` are mutually exclusive, exactly
+    as in :meth:`KPJSolver.top_k`.
+    """
+
+    source: int
+    category: str | None = None
+    destinations: tuple[int, ...] | None = None
+    k: int = 10
+    algorithm: str = "iter-bound-spti"
+    alpha: float = 1.1
+
+
+def _coerce(query) -> BatchQuery:
+    """Accept :class:`BatchQuery` instances or plain mappings."""
+    if isinstance(query, BatchQuery):
+        return query
+    if isinstance(query, Mapping):
+        try:
+            query = dict(query)
+            if "destinations" in query and query["destinations"] is not None:
+                query["destinations"] = tuple(query["destinations"])
+            return BatchQuery(**query)
+        except TypeError as exc:
+            raise QueryError(f"malformed batch query {query!r}: {exc}") from None
+    raise QueryError(
+        f"batch queries must be BatchQuery or mappings, got {type(query).__name__}"
+    )
+
+
+def _execute(solver, query: BatchQuery):
+    """Answer one batch query against a solver."""
+    return solver.top_k(
+        query.source,
+        category=query.category,
+        destinations=query.destinations,
+        k=query.k,
+        algorithm=query.algorithm,
+        alpha=query.alpha,
+    )
+
+
+def _worker_execute(query: BatchQuery):
+    """Pool worker body: run one query against the forked solver."""
+    return _execute(_WORKER_SOLVER, query)
+
+
+def _warm_cache(solver, queries: Sequence[BatchQuery]) -> None:
+    """Materialise per-destination-set artefacts before forking.
+
+    Every distinct destination set of the workload gets its prepared
+    entry (bounds, ``G_Q`` overlay, CSR export under the flat kernel)
+    built in the parent, so each worker inherits a hot cache instead
+    of rebuilding it ``workers`` times.  Invalid queries are left for
+    the workers to report in order.
+    """
+    seen: set = set()
+    for q in queries:
+        key = (q.category, q.destinations)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            prepared = solver.prepare(
+                category=q.category, destinations=q.destinations
+            )
+            prepared.csr_overlay()
+        except QueryError:
+            continue
+
+
+def run_batch(solver, queries: Sequence, workers: int = 1) -> list:
+    """Answer ``queries`` with ``solver``, sharded over ``workers``.
+
+    Returns one :class:`~repro.core.result.QueryResult` per query, in
+    submission order.  ``workers <= 1`` (or a single query, or a
+    platform without ``fork``) runs sequentially in-process; larger
+    values fork a pool after warming the solver's prepared-category
+    cache for the workload's destination sets.
+    """
+    global _WORKER_SOLVER
+    batch = [_coerce(q) for q in queries]
+    if not batch:
+        return []
+    workers = min(int(workers), len(batch))
+    if workers > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = None
+        if ctx is not None:
+            _warm_cache(solver, batch)
+            _WORKER_SOLVER = solver
+            try:
+                with ctx.Pool(processes=workers) as pool:
+                    chunk = max(1, len(batch) // (4 * workers))
+                    return list(pool.imap(_worker_execute, batch, chunksize=chunk))
+            finally:
+                _WORKER_SOLVER = None
+    return [_execute(solver, q) for q in batch]

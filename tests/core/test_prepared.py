@@ -58,3 +58,86 @@ class TestPreparedCategory:
         prepared = bare.prepare(category="H")
         v = paper_built.node_id
         assert prepared.top_k(v("v1"), k=3).lengths == (5.0, 6.0, 7.0)
+
+
+class TestPreparedCache:
+    """LRU semantics and hit/miss accounting of the solver cache."""
+
+    def _solver(self, paper_graph, paper_categories, **kw):
+        return KPJSolver(paper_graph, paper_categories, landmarks=None, **kw)
+
+    def test_repeat_query_hits(self, paper_graph, paper_categories, paper_built):
+        s = self._solver(paper_graph, paper_categories)
+        v = paper_built.node_id
+        first = s.top_k(v("v1"), category="H", k=3)
+        second = s.top_k(v("v9"), category="H", k=3)
+        assert first.stats.prepared_cache_misses == 1
+        assert first.stats.prepared_cache_hits == 0
+        assert second.stats.prepared_cache_hits == 1
+        assert second.stats.prepared_cache_misses == 0
+        info = s.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["entries"] == 1
+
+    def test_distinct_destination_sets_distinct_entries(
+        self, paper_graph, paper_categories, paper_built
+    ):
+        s = self._solver(paper_graph, paper_categories)
+        v = paper_built.node_id
+        s.top_k(v("v1"), category="H", k=2)
+        s.top_k(v("v1"), destinations=[v("v4")], k=2)
+        assert s.cache_info()["entries"] == 2
+        assert s.cache_info()["misses"] == 2
+
+    def test_duplicate_destinations_share_an_entry(
+        self, paper_graph, paper_categories, paper_built
+    ):
+        s = self._solver(paper_graph, paper_categories)
+        v = paper_built.node_id
+        dests = [v("v4"), v("v6")]
+        s.top_k(v("v1"), destinations=dests, k=2)
+        # Re-ordered and duplicated destination lists canonicalise to
+        # the same cache key.
+        s.top_k(v("v1"), destinations=list(reversed(dests)) + [dests[0]], k=2)
+        assert s.cache_info()["hits"] == 1
+
+    def test_lru_eviction_respects_bound(
+        self, paper_graph, paper_categories, paper_built
+    ):
+        s = self._solver(paper_graph, paper_categories, prepared_cache_size=2)
+        v = paper_built.node_id
+        for name in ("v4", "v6", "v7"):  # three distinct destination sets
+            s.top_k(v("v1"), destinations=[v(name)], k=1)
+        assert s.cache_info()["entries"] == 2
+        # The oldest entry (v4) was evicted: querying it again misses.
+        s.top_k(v("v1"), destinations=[v("v4")], k=1)
+        assert s.cache_info()["misses"] == 4
+
+    def test_zero_size_disables_caching(
+        self, paper_graph, paper_categories, paper_built
+    ):
+        s = self._solver(paper_graph, paper_categories, prepared_cache_size=0)
+        v = paper_built.node_id
+        s.top_k(v("v1"), category="H", k=2)
+        s.top_k(v("v1"), category="H", k=2)
+        info = s.cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0 and info["misses"] == 2
+
+    def test_invalid_config_rejected(self, paper_graph, paper_categories):
+        with pytest.raises(QueryError):
+            KPJSolver(paper_graph, paper_categories, kernel="gpu")
+        with pytest.raises(QueryError):
+            KPJSolver(paper_graph, paper_categories, prepared_cache_size=-1)
+
+    def test_cached_answers_identical_to_cold(
+        self, paper_graph, paper_categories, paper_built
+    ):
+        v = paper_built.node_id
+        warm = self._solver(paper_graph, paper_categories)
+        warm.top_k(v("v1"), category="H", k=3)  # prime
+        cold = self._solver(paper_graph, paper_categories)
+        a = warm.top_k(v("v1"), category="H", k=3)
+        b = cold.top_k(v("v1"), category="H", k=3)
+        assert a.lengths == b.lengths
+        assert [p.nodes for p in a.paths] == [p.nodes for p in b.paths]

@@ -35,6 +35,10 @@ class TestSearchStats:
             "spt_nodes",
             "subspaces_created",
             "subspaces_pruned",
+            "dict_kernel_calls",
+            "flat_kernel_calls",
+            "prepared_cache_hits",
+            "prepared_cache_misses",
         }
 
     def test_mutation(self):

@@ -53,3 +53,90 @@ class TestCSR:
         assert csr.indptr.dtype == np.int64
         assert csr.indices.dtype == np.int64
         assert csr.weights.dtype == np.float64
+
+
+class TestReverse:
+    def test_reverse_edges_are_transposed(self):
+        g = make_graph()
+        csr = to_csr(g)
+        rev = csr.reverse()
+        fwd = {
+            (u, int(v), float(w))
+            for u in range(g.n)
+            for v, w in zip(csr.neighbors(u), csr.edge_weights(u))
+        }
+        bwd = {
+            (int(v), u, float(w))
+            for u in range(g.n)
+            for v, w in zip(rev.neighbors(u), rev.edge_weights(u))
+        }
+        assert fwd == bwd
+
+    def test_reverse_is_cached_and_involutive(self):
+        csr = to_csr(make_graph())
+        rev = csr.reverse()
+        assert csr.reverse() is rev
+        assert rev.reverse() is csr
+
+    def test_reverse_empty_graph(self):
+        from repro.graph.digraph import DiGraph
+
+        csr = to_csr(DiGraph(3).freeze())
+        rev = csr.reverse()
+        assert rev.n == 3 and rev.m == 0
+
+
+class TestSharedCSR:
+    def test_cached_on_frozen_digraph(self):
+        from repro.graph.csr import shared_csr
+
+        g = make_graph()
+        assert shared_csr(g) is shared_csr(g)
+
+    def test_reversed_view_shares_base_export(self):
+        from repro.graph.csr import shared_csr
+        from repro.graph.digraph import ReversedView
+
+        g = make_graph()
+        rg = ReversedView(g)
+        assert shared_csr(rg) is shared_csr(g).reverse()
+
+    def test_matches_to_csr(self):
+        from repro.graph.csr import shared_csr
+
+        g = make_graph()
+        a, b = shared_csr(g), to_csr(g)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestQueryOverlay:
+    def _check(self, g, destinations, sources=()):
+        from repro.graph.csr import query_overlay, shared_csr
+        from repro.graph.virtual import build_query_graph
+
+        srcs = tuple(sources) if len(sources) > 1 else (0,)
+        qg = build_query_graph(g, srcs if len(sources) > 1 else (0,), destinations)
+        expected = to_csr(qg.graph)
+        got = query_overlay(shared_csr(g), sorted(set(destinations)), sources=sources)
+        assert np.array_equal(got.indptr, expected.indptr)
+        assert np.array_equal(got.indices, expected.indices)
+        assert np.array_equal(got.weights, expected.weights)
+
+    def test_single_source_overlay_matches_digraph_transform(self):
+        self._check(make_graph(), [1, 3])
+
+    def test_multi_source_overlay_matches(self):
+        self._check(make_graph(), [3], sources=(0, 1, 2))
+
+    def test_overlay_on_random_graphs(self):
+        import random
+
+        from tests.conftest import random_graph
+
+        rng = random.Random(7)
+        for _ in range(10):
+            g = random_graph(rng)
+            dests = sorted({rng.randrange(g.n) for _ in range(3)})
+            self._check(g, dests)

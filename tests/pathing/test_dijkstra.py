@@ -119,3 +119,43 @@ class TestConstrained:
         constrained_shortest_path(diamond_graph, 0, 3, stats=stats)
         assert stats.nodes_settled >= 2
         assert stats.edges_relaxed >= 2
+
+
+class TestCutoffBoundary:
+    """The cutoff contract is INCLUSIVE: d(v) == cutoff is settled."""
+
+    def test_node_exactly_at_cutoff_is_settled(self, line_graph):
+        dist = single_source_distances(line_graph, 0, cutoff=2.0)
+        assert dist[2] == 2.0  # exactly at the boundary -> kept
+        assert dist[3] == INF  # strictly beyond -> pruned
+
+    def test_inclusive_on_both_kernels(self, line_graph):
+        for kernel in ("dict", "flat"):
+            dist = single_source_distances(line_graph, 0, cutoff=3.0, kernel=kernel)
+            assert dist[3] == 3.0, kernel
+            assert dist[4] == INF, kernel
+
+    def test_multi_source_cutoff_inclusive(self, line_graph):
+        dist = multi_source_distances(line_graph, (0,), cutoff=1.0)
+        assert dist[1] == 1.0
+        assert dist[2] == INF
+
+
+class TestBlockedEndpoints:
+    def test_blocked_source_raises(self, diamond_graph):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError, match="source"):
+            constrained_shortest_path(diamond_graph, 0, 3, blocked={0})
+
+    def test_blocked_target_raises(self, diamond_graph):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError, match="target"):
+            constrained_shortest_path(diamond_graph, 0, 3, blocked={3})
+
+    def test_blocked_endpoint_raises_on_flat_kernel_too(self, diamond_graph):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            constrained_shortest_path(diamond_graph, 0, 3, blocked={0}, kernel="flat")

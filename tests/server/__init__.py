@@ -1,0 +1,1 @@
+"""Tests for the batch/parallel query-serving layer."""

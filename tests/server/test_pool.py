@@ -1,0 +1,145 @@
+"""Unit tests for batched parallel query serving.
+
+The acceptance bar for the pool is strict: answers from
+``solve_batch(..., workers>1)`` must be **identical** to sequential
+solving, in submission order, with the prepared-category cache warm.
+"""
+
+import pytest
+
+from repro.core.kpj import KPJSolver
+from repro.datasets.registry import road_network
+from repro.exceptions import QueryError
+from repro.server.pool import BatchQuery, _coerce, run_batch
+
+
+@pytest.fixture(scope="module")
+def sj_solver():
+    """A solver over the SJ registry dataset (small but non-trivial)."""
+    dataset = road_network("SJ")
+    return dataset, KPJSolver(dataset.graph, dataset.categories, landmarks=8)
+
+
+def _query_mix(dataset, count: int) -> list[BatchQuery]:
+    """A deterministic workload cycling sources and categories."""
+    cats = sorted(dataset.categories._sets)
+    return [
+        BatchQuery(
+            source=(i * 97) % dataset.n,
+            category=cats[i % len(cats)],
+            k=5,
+            algorithm="iter-bound-spti",
+        )
+        for i in range(count)
+    ]
+
+
+def _fingerprint(results):
+    return [
+        (r.algorithm, tuple((p.nodes, p.length) for p in r.paths))
+        for r in results
+    ]
+
+
+class TestCoercion:
+    def test_batchquery_passthrough(self):
+        q = BatchQuery(source=1, category="T1")
+        assert _coerce(q) is q
+
+    def test_mapping_coerces(self):
+        q = _coerce({"source": 2, "destinations": [5, 3], "k": 2})
+        assert q == BatchQuery(source=2, destinations=(5, 3), k=2)
+
+    def test_malformed_mapping_raises(self):
+        with pytest.raises(QueryError, match="malformed"):
+            _coerce({"source": 1, "bogus_field": 3})
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(QueryError, match="BatchQuery or mappings"):
+            _coerce(42)
+
+
+class TestSequential:
+    def test_empty_batch(self, sj_solver):
+        _, solver = sj_solver
+        assert solver.solve_batch([]) == []
+
+    def test_matches_top_k(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 6)
+        results = solver.solve_batch(queries)
+        for q, r in zip(queries, results):
+            direct = solver.top_k(
+                q.source, category=q.category, k=q.k, algorithm=q.algorithm
+            )
+            assert _fingerprint([r]) == _fingerprint([direct])
+
+    def test_invalid_query_propagates(self, sj_solver):
+        _, solver = sj_solver
+        with pytest.raises(QueryError):
+            solver.solve_batch([BatchQuery(source=0, category="no-such")])
+
+    def test_repeat_categories_hit_cache(self, sj_solver):
+        dataset, _ = sj_solver
+        solver = KPJSolver(dataset.graph, dataset.categories, landmarks=None)
+        queries = [
+            BatchQuery(source=s, category="T2", k=3) for s in (1, 5, 9, 13)
+        ]
+        results = solver.solve_batch(queries)
+        hits = sum(r.stats.prepared_cache_hits for r in results)
+        assert hits == len(queries) - 1  # all but the first reuse the entry
+
+
+class TestParallel:
+    def test_fifty_queries_identical_to_sequential(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 50)
+        sequential = solver.solve_batch(queries, workers=1)
+        parallel = solver.solve_batch(queries, workers=3)
+        assert _fingerprint(parallel) == _fingerprint(sequential)
+
+    def test_parallel_queries_arrive_with_warm_cache(self, sj_solver):
+        dataset, _ = sj_solver
+        solver = KPJSolver(dataset.graph, dataset.categories, landmarks=None)
+        queries = [
+            BatchQuery(source=s, category="T1", k=3) for s in range(10)
+        ]
+        results = solver.solve_batch(queries, workers=2)
+        # run_batch warms the prepared cache before forking, so every
+        # worker-answered query is a cache hit.
+        assert all(r.stats.prepared_cache_hits == 1 for r in results)
+        assert sum(r.stats.prepared_cache_misses for r in results) == 0
+
+    def test_order_preserved_under_parallelism(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 12)
+        results = solver.solve_batch(queries, workers=4)
+        for q, r in zip(queries, results):
+            direct = solver.top_k(
+                q.source, category=q.category, k=q.k, algorithm=q.algorithm
+            )
+            assert _fingerprint([r]) == _fingerprint([direct])
+
+    def test_workers_capped_by_batch_size(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 2)
+        results = solver.solve_batch(queries, workers=16)
+        assert len(results) == 2
+
+    def test_run_batch_function_directly(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = [{"source": 3, "category": "T2", "k": 2}]
+        results = run_batch(solver, queries, workers=2)
+        assert len(results) == 1
+        assert results[0].paths
+
+
+@pytest.mark.slow
+def test_large_batch_identical_across_worker_counts(sj_solver):
+    """200 queries, every worker count 1..4, identical fingerprints."""
+    dataset, solver = sj_solver
+    queries = _query_mix(dataset, 200)
+    baseline = solver.solve_batch(queries, workers=1)
+    for workers in (2, 3, 4):
+        got = solver.solve_batch(queries, workers=workers)
+        assert _fingerprint(got) == _fingerprint(baseline), workers

@@ -141,3 +141,113 @@ class TestCommands:
             ]
         )
         assert code == 2
+
+
+class TestKernelAndStatsFlags:
+    def test_query_flat_kernel_with_stats(self, capsys):
+        code = main(
+            [
+                "query", "--dataset", "SJ", "--source", "10",
+                "--category", "T2", "--k", "2", "--landmarks", "4",
+                "--kernel", "flat", "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flat kernel" in out
+        assert "stats:" in out
+        assert "flat_kernel_calls" in out
+        assert "prepared_cache_misses" in out
+
+    def test_query_kernels_agree(self, capsys):
+        outputs = []
+        for kernel in ("dict", "flat"):
+            assert main(
+                [
+                    "query", "--dataset", "SJ", "--source", "10",
+                    "--category", "T2", "--k", "3", "--landmarks", "4",
+                    "--kernel", kernel, "--json",
+                ]
+            ) == 0
+            import json
+
+            payload = json.loads(capsys.readouterr().out)
+            outputs.append([p["length"] for p in payload["paths"]])
+        assert outputs[0] == outputs[1]
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--dataset", "SJ", "--source", "1",
+                 "--category", "T2", "--kernel", "gpu"]
+            )
+
+
+class TestBatchCommand:
+    def test_batch_explicit_sources(self, capsys):
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--sources", "3,10,25", "--k", "2", "--landmarks", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 queries" in out
+        assert "queries/s" in out
+
+    def test_batch_random_sources_with_workers_and_stats(self, capsys):
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--random-sources", "6", "--seed", "1", "--workers", "2",
+                "--kernel", "flat", "--stats", "--landmarks", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "prepared_cache_hits" in out
+
+    def test_batch_json_payload(self, capsys):
+        import json
+
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--sources", "3,10", "--k", "2", "--landmarks", "4",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 1
+        assert len(payload["results"]) == 2
+        assert payload["results"][0]["source"] == 3
+        assert payload["queries_per_s"] > 0
+
+    def test_batch_bad_sources(self, capsys):
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--sources", "3,abc",
+            ]
+        )
+        assert code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_batch_out_of_range_source(self, capsys):
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--sources", "999999",
+            ]
+        )
+        assert code == 2
+        assert "must be in" in capsys.readouterr().err
+
+    def test_batch_requires_source_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["batch", "--dataset", "SJ", "--category", "T2"]
+            )
