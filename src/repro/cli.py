@@ -214,8 +214,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         for source in sources
     ]
+    total = SearchStats() if args.stats else None
     start = time.perf_counter()
-    results = solver.solve_batch(queries, workers=args.workers)
+    results = solver.solve_batch(queries, workers=args.workers, stats=total)
     elapsed = time.perf_counter() - start
     if args.json:
         import json
@@ -229,6 +230,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     "kernel": args.kernel,
                     "elapsed_s": elapsed,
                     "queries_per_s": len(results) / elapsed if elapsed else 0.0,
+                    **({"stats": total.as_dict()} if total is not None else {}),
                     "results": [
                         {"source": q.source, **r.to_dict()}
                         for q, r in zip(queries, results)
@@ -251,10 +253,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     throughput = len(results) / elapsed if elapsed else 0.0
     print(f"elapsed {elapsed * 1000.0:.1f}ms  ({throughput:.1f} queries/s)")
-    if args.stats:
-        total = SearchStats()
-        for result in results:
-            total.merge(result.stats)
+    if total is not None:
         _print_stats(total)
     return 0
 

@@ -94,7 +94,7 @@ def best_first(
             subspace.head,
             target,
             heuristic,
-            blocked=subspace.blocked,
+            blocked=subspace.blocked_set,
             banned_first_hops=subspace.banned,
             initial_distance=subspace.prefix_weight,
             stats=stats,

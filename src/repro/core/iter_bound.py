@@ -25,12 +25,14 @@ from heapq import heappop, heappush
 from itertools import count
 from typing import Callable
 
+from repro.core.flat_engine import FlatQueryContext
 from repro.core.result import Path
 from repro.core.stats import SearchStats
 from repro.core.subspace import Subspace, compute_lower_bound, divide
 from repro.graph.digraph import DiGraph
 from repro.graph.virtual import QueryGraph
 from repro.pathing.astar import astar_path, bounded_astar_path
+from repro.pathing.kernels import active_kernel
 
 __all__ = ["iter_bound_search", "iter_bound"]
 
@@ -49,6 +51,11 @@ def iter_bound_search(
     comp_lb: Callable[[Subspace], float] | None = None,
     before_test: Callable[[float], None] | None = None,
     trace=None,
+    test_lb: Callable[[Subspace, float, dict], tuple[tuple[int, ...], float] | None]
+    | None = None,
+    use_flat_engine: bool | None = None,
+    comp_lb_children: Callable | None = None,
+    initial_dists: list[float] | None = None,
 ) -> list[Path]:
     """Generic Alg. 4 driver; returns paths in ``graph`` coordinates.
 
@@ -76,6 +83,31 @@ def iter_bound_search(
     trace:
         Optional :class:`repro.core.trace.SearchTrace` recording the
         loop's events (outputs, test hits/misses, retirements).
+    test_lb:
+        Override for the bounded test itself: called as
+        ``test_lb(subspace, tau, info)`` and expected to honour the
+        same contract as :func:`~repro.pathing.astar.bounded_astar_path`
+        (``(tail, length)`` within ``tau`` or ``None`` with
+        ``info["pruned"]`` set).  The ``SPT_I`` flat driver supplies a
+        closure over its query context here.
+    use_flat_engine:
+        Tri-state fast-path switch used when ``test_lb`` is not given:
+        ``True`` builds a :class:`~repro.core.flat_engine.FlatQueryContext`
+        over ``graph`` and runs every test on the flat kernel;
+        ``False`` forces the dict closure; ``None`` (default) follows
+        the ambient kernel selection.
+    comp_lb_children:
+        Optional batched division: called as
+        ``comp_lb_children(subspace, path, tail_dists)`` and expected
+        to return the exact ``[(child, comp_lb(child)), ...]`` sequence
+        that ``divide`` + ``comp_lb`` would produce, in the same order.
+        Used only for paths whose ``TestLB`` reported tail distances
+        (the flat ``SPT_I`` engine vectorises Alg. 8 here).
+    initial_dists:
+        Prefix weights of ``initial``'s path, entry ``i`` being the
+        weight of ``path[: i + 1]`` accumulated left-to-right exactly
+        as ``divide`` would.  Lets the first (largest) division skip
+        the per-hop ``edge_weight`` walk.
     """
     if not alpha > 1.0:
         raise ValueError(f"alpha must be > 1, got {alpha}")
@@ -84,6 +116,31 @@ def iter_bound_search(
     if comp_lb is None:
         def comp_lb(subspace: Subspace) -> float:
             return compute_lower_bound(adjacency, subspace, heuristic)
+
+    own_ctx: FlatQueryContext | None = None
+    if test_lb is None:
+        if use_flat_engine is None:
+            use_flat_engine = active_kernel() == "flat"
+        if use_flat_engine:
+            # Flat-core fast path: resolve the CSR snapshot, densify
+            # the heuristic, and pool the blocked mask once per query
+            # instead of once per TestLB.
+            own_ctx = FlatQueryContext(graph, heuristic)
+            test_lb = own_ctx.make_test_lb(goal, stats)
+        else:
+            def test_lb(subspace: Subspace, tau: float, info: dict):
+                return bounded_astar_path(
+                    graph,
+                    subspace.head,
+                    goal,
+                    heuristic,
+                    bound=tau,
+                    blocked=subspace.blocked_set,
+                    banned_first_hops=subspace.banned,
+                    initial_distance=subspace.prefix_weight,
+                    stats=stats,
+                    info=info,
+                )
 
     if initial is None:
         stats.shortest_path_computations += 1
@@ -96,72 +153,106 @@ def iter_bound_search(
     # subspace at this bound without success proves it empty.
     tau_limit = graph.n * graph.max_edge_weight + 1.0
 
-    tie = count()
-    queue: list[tuple[float, int, Subspace, tuple[int, ...] | None]] = []
-    heappush(queue, (first_length, next(tie), Subspace.entire(root), first_path))
-    stats.subspaces_created += 1
+    tie = count()  # FIFO tie-break among equal bounds, exactly as before
+    # Queue entries carry (bound, tie, subspace, found) where found is
+    # None (bound-only entry) or (path, tail_dists) — the flat TestLB
+    # kernel reports the settled distances of its tail so divide() can
+    # reuse them instead of re-reading edge weights.
+    queue: list[
+        tuple[float, int, Subspace, tuple[tuple[int, ...], list[float] | None] | None]
+    ] = []
+    heappush(
+        queue,
+        (first_length, next(tie), Subspace.entire(root), (first_path, initial_dists)),
+    )
 
     results: list[Path] = []
     edge_weight = graph.edge_weight
     test_info: dict = {}
-    while queue and len(results) < k:
-        bound, _, subspace, path = heappop(queue)
-        if path is not None:
-            results.append(Path(length=bound, nodes=path))
-            if trace is not None:
-                trace.record("output", subspace.prefix, bound, length=bound)
-            for child in divide(subspace, path, bound, edge_weight):
-                stats.subspaces_created += 1
-                stats.lower_bound_computations += 1
-                child_bound = comp_lb(child)
-                if child_bound == INF:
-                    stats.subspaces_pruned += 1
+    # Hot-loop stats are batched in locals and flushed once at the end.
+    n_created = 1
+    n_lb_computations = 0
+    n_pruned = 0
+    n_tests = 0
+    n_test_failures = 0
+    try:
+        while queue and len(results) < k:
+            bound, _, subspace, found = heappop(queue)
+            if found is not None:
+                path, dists = found
+                results.append(Path(length=bound, nodes=path))
+                if trace is not None:
+                    trace.record("output", subspace.prefix, bound, length=bound)
+                if comp_lb_children is not None and dists is not None:
+                    for child, child_bound in comp_lb_children(subspace, path, dists):
+                        n_created += 1
+                        n_lb_computations += 1
+                        if child_bound == INF:
+                            n_pruned += 1
+                            continue
+                        if child_bound < bound:
+                            child_bound = bound
+                        heappush(queue, (child_bound, next(tie), child, None))
                     continue
-                if child_bound < bound:
-                    child_bound = bound
-                heappush(queue, (child_bound, next(tie), child, None))
-            continue
-        # Enlarge tau: alpha * max(lb(S), next pending bound) — Alg. 4
-        # line 9, with the queue top defined as +inf when empty.
-        next_bound = queue[0][0] if queue else INF
-        tau = alpha * max(bound, next_bound, first_length)
-        if tau <= 0.0:
-            # All pending bounds are zero (possible only when the source
-            # is itself a destination and Alg. 8 floored a bound at 0);
-            # any positive value restores geometric growth.
-            tau = graph.max_edge_weight or 1.0
-        if tau >= tau_limit:
-            tau = tau_limit
-        if before_test is not None:
-            before_test(tau)
-        stats.lb_tests += 1
-        found = bounded_astar_path(
-            graph,
-            subspace.head,
-            goal,
-            heuristic,
-            bound=tau,
-            blocked=subspace.blocked,
-            banned_first_hops=subspace.banned,
-            initial_distance=subspace.prefix_weight,
-            stats=stats,
-            info=test_info,
-        )
-        if found is not None:
-            tail, length = found
+                for child in divide(subspace, path, bound, edge_weight, dists):
+                    n_created += 1
+                    n_lb_computations += 1
+                    child_bound = comp_lb(child)
+                    if child_bound == INF:
+                        n_pruned += 1
+                        continue
+                    if child_bound < bound:
+                        child_bound = bound
+                    heappush(queue, (child_bound, next(tie), child, None))
+                continue
+            # Enlarge tau: alpha * max(lb(S), next pending bound) — Alg. 4
+            # line 9, with the queue top defined as +inf when empty.
+            next_bound = queue[0][0] if queue else INF
+            tau = alpha * max(bound, next_bound, first_length)
+            if tau <= 0.0:
+                # All pending bounds are zero (possible only when the source
+                # is itself a destination and Alg. 8 floored a bound at 0);
+                # any positive value restores geometric growth.
+                tau = graph.max_edge_weight or 1.0
+            if tau >= tau_limit:
+                tau = tau_limit
+            if before_test is not None:
+                before_test(tau)
+            n_tests += 1
+            hit = test_lb(subspace, tau, test_info)
+            if hit is not None:
+                tail, length = hit
+                if trace is not None:
+                    trace.record(
+                        "test-hit", subspace.prefix, bound, tau=tau, length=length
+                    )
+                heappush(
+                    queue,
+                    (
+                        length,
+                        next(tie),
+                        subspace,
+                        (subspace.prefix[:-1] + tail, test_info.get("tail_dists")),
+                    ),
+                )
+                continue
+            n_test_failures += 1
+            if not test_info["pruned"] or tau >= tau_limit:
+                if trace is not None:
+                    trace.record("retire", subspace.prefix, bound, tau=tau)
+                n_pruned += 1  # provably empty — retire it
+                continue
             if trace is not None:
-                trace.record("test-hit", subspace.prefix, bound, tau=tau, length=length)
-            heappush(queue, (length, next(tie), subspace, subspace.prefix[:-1] + tail))
-            continue
-        stats.lb_test_failures += 1
-        if not test_info["pruned"] or tau >= tau_limit:
-            if trace is not None:
-                trace.record("retire", subspace.prefix, bound, tau=tau)
-            stats.subspaces_pruned += 1  # provably empty — retire it
-            continue
-        if trace is not None:
-            trace.record("test-miss", subspace.prefix, bound, tau=tau)
-        heappush(queue, (tau, next(tie), subspace, None))
+                trace.record("test-miss", subspace.prefix, bound, tau=tau)
+            heappush(queue, (tau, next(tie), subspace, None))
+    finally:
+        if own_ctx is not None:
+            own_ctx.close()
+        stats.subspaces_created += n_created
+        stats.lower_bound_computations += n_lb_computations
+        stats.subspaces_pruned += n_pruned
+        stats.lb_tests += n_tests
+        stats.lb_test_failures += n_test_failures
     stats.subspaces_pruned += sum(1 for entry in queue if entry[3] is None)
     return results
 

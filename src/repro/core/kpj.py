@@ -101,8 +101,15 @@ def _run_iter_bound(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
 
 
 def _run_iter_bound_sptp(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
+    source_bounds = ctx.source_bounds
+    eager = getattr(source_bounds, "eager", None)
+    if eager is not None:
+        # The backward A* reads the bound once per relaxed node — a
+        # dense region — so the materialised vector beats the lazy
+        # per-column reduction here.
+        source_bounds = eager()
     return iter_bound_sptp(
-        qg, k, ctx.target_bounds, ctx.source_bounds, alpha=ctx.alpha, stats=ctx.stats
+        qg, k, ctx.target_bounds, source_bounds, alpha=ctx.alpha, stats=ctx.stats
     )
 
 
@@ -250,6 +257,7 @@ class KPJSolver:
         self,
         queries: Sequence,
         workers: int = 1,
+        stats: SearchStats | None = None,
     ) -> list[QueryResult]:
         """Answer a list of queries, optionally across a process pool.
 
@@ -263,10 +271,15 @@ class KPJSolver:
         identical to what sequential solving returns.  See
         :mod:`repro.server.pool` for the sharding details and the
         platforms where the pool falls back to sequential execution.
+
+        Pass a :class:`~repro.core.stats.SearchStats` as ``stats`` to
+        collect the batch's aggregate counters: the merge of every
+        result's per-query stats (across all workers) plus the
+        parent-side prepared-cache warm-up that precedes a fork.
         """
         from repro.server.pool import run_batch
 
-        return run_batch(self, queries, workers=workers)
+        return run_batch(self, queries, workers=workers, stats=stats)
 
     def prepare(
         self,
@@ -394,7 +407,12 @@ class KPJSolver:
         if target_bounds is None:
             target_bounds = prepared.target_bounds
         if self.landmark_index is not None:
-            source_bounds = self.landmark_index.from_source_bounds(qg.sources)
+            # Lazy: columns of the landmark matrix are reduced on first
+            # use per node.  Algorithms that never consult the source
+            # bound (DA, BestFirst, plain IterBound) now skip the
+            # O(|L| n) vector build entirely; SPT_I touches a handful
+            # of columns; SPT_P converts to the eager vector itself.
+            source_bounds = self.landmark_index.lazy_source_bounds(qg.sources)
         else:
             source_bounds = ZERO_BOUNDS
         ctx = QueryContext(

@@ -29,11 +29,13 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Callable
 
+from repro.core.flat_engine import flat_spti_search
 from repro.core.iter_bound import iter_bound_search
 from repro.core.result import Path
 from repro.core.stats import SearchStats
 from repro.core.subspace import Subspace
 from repro.graph.virtual import QueryGraph
+from repro.pathing.kernels import active_kernel
 
 __all__ = ["IncrementalSPT", "iter_bound_spti"]
 
@@ -185,6 +187,7 @@ def iter_bound_spti(
     source_bounds: Callable[[int], float],
     alpha: float = 1.1,
     stats: SearchStats | None = None,
+    flat_core: bool | None = None,
 ) -> list[Path]:
     """Top-``k`` paths via the incremental-SPT iteratively bounding search.
 
@@ -198,9 +201,23 @@ def iter_bound_spti(
         (Section 6).
     source_bounds:
         ``lb(s, v)`` — Alg. 8's fallback for nodes outside the tree.
+    flat_core:
+        Tri-state engine switch.  ``None`` (default) follows the
+        ambient kernel: under ``"flat"`` the whole query runs on
+        :func:`~repro.core.flat_engine.flat_spti_search`.  ``False``
+        forces the dict tree/driver with per-call kernel dispatch in
+        the leaves — the pre-flat-core configuration, kept addressable
+        so benchmarks can measure the engine against it.  ``True``
+        forces the flat engine regardless of the ambient kernel.
 
     Returns paths in ``G_Q`` coordinates (source → … → virtual target).
     """
+    if flat_core is None:
+        flat_core = active_kernel() == "flat"
+    if flat_core:
+        return flat_spti_search(
+            query_graph, k, target_bounds, source_bounds, alpha=alpha, stats=stats
+        )
     stats = stats if stats is not None else SearchStats()
     tree = IncrementalSPT(query_graph, target_bounds, stats=stats)
     stats.shortest_path_computations += 1
@@ -257,6 +274,7 @@ def iter_bound_spti(
         initial=(tuple(reversed(first_path)), first_length),
         comp_lb=comp_lb,
         before_test=tree.grow,
+        use_flat_engine=False,
     )
     stats.spt_nodes = len(tree)
     return [

@@ -45,6 +45,24 @@ class SPTPHeuristic:
             return exact
         return self._fallback(v)
 
+    def dense(self, size: int) -> list[float]:
+        """Flat-engine mirror: fallback vector with the tree overlaid.
+
+        Entry ``v`` equals ``self(v)`` bit-for-bit, so the flat-core
+        driver can index instead of calling.  Not cached — the tree is
+        per-query and the copy is one ``O(n)`` pass.
+        """
+        base = getattr(self._fallback, "dense", None)
+        if base is not None:
+            mirror = list(base(size))
+        else:
+            fallback = self._fallback
+            mirror = [fallback(v) for v in range(size)]
+        for v, exact in self._tree_dist.items():
+            if v < size:
+                mirror[v] = exact
+        return mirror
+
 
 def iter_bound_sptp(
     query_graph: QueryGraph,

@@ -34,7 +34,7 @@ INF = float("inf")
 class Subspace:
     """An immutable subspace ``<prefix, banned>`` with cached prefix weight."""
 
-    __slots__ = ("prefix", "banned", "prefix_weight")
+    __slots__ = ("prefix", "banned", "prefix_weight", "_blocked_set")
 
     def __init__(
         self, prefix: tuple[int, ...], banned: frozenset[int], prefix_weight: float
@@ -42,6 +42,7 @@ class Subspace:
         self.prefix = prefix
         self.banned = banned
         self.prefix_weight = prefix_weight
+        self._blocked_set: frozenset[int] | None = None
 
     @property
     def head(self) -> int:
@@ -52,6 +53,20 @@ class Subspace:
     def blocked(self) -> tuple[int, ...]:
         """Nodes a path of this subspace may not revisit (prefix minus ``u``)."""
         return self.prefix[:-1]
+
+    @property
+    def blocked_set(self) -> frozenset[int]:
+        """:attr:`blocked` as a frozenset, materialised once.
+
+        A subspace is re-tested every time the iteratively bounding
+        driver enlarges ``τ``; caching the set form means the search
+        kernels stop rebuilding ``set(prefix[:-1])`` on every re-test.
+        """
+        cached = self._blocked_set
+        if cached is None:
+            cached = frozenset(self.prefix[:-1])
+            self._blocked_set = cached
+        return cached
 
     @classmethod
     def entire(cls, root: int) -> "Subspace":
@@ -74,6 +89,7 @@ def divide(
     path: tuple[int, ...],
     path_length: float,
     edge_weight: Callable[[int, int], float],
+    tail_dists: Sequence[float] | None = None,
 ) -> Iterator[Subspace]:
     """Split ``subspace`` around its shortest path ``path``.
 
@@ -82,10 +98,23 @@ def divide(
     (the singleton ``{path}`` is implicitly dropped).  ``edge_weight``
     supplies hop weights so child prefix weights accumulate without
     re-scanning adjacency.
+
+    ``tail_dists``, when available, short-circuits even the per-hop
+    weight lookups: entry ``i`` must be the prefix weight of
+    ``path[: deviation + i + 1]`` (the flat ``TestLB`` kernel reports
+    exactly this for the tail it settled — the same left-to-right
+    float accumulation the loop below would redo, so child prefix
+    weights are bit-identical either way).
     """
     deviation = len(subspace.prefix) - 1
     assert path[: deviation + 1] == subspace.prefix, "path must extend the prefix"
     yield subspace.child_at_head(path[deviation + 1])
+    if tail_dists is not None:
+        for j in range(deviation + 1, len(path) - 1):
+            yield Subspace(
+                path[: j + 1], frozenset((path[j + 1],)), tail_dists[j - deviation]
+            )
+        return
     weight = subspace.prefix_weight
     for j in range(deviation + 1, len(path) - 1):
         weight += edge_weight(path[j - 1], path[j])

@@ -62,6 +62,13 @@ class CSRGraph:
     _scratch_pool: list = field(
         default_factory=list, repr=False, compare=False
     )
+    # Pools for the flat iterative-bounding engine: generation-stamped
+    # node masks (subspace blocked sets) and all-inf float arrays (the
+    # incremental-SPT heuristic vector).  Like the scratch pool they
+    # are shared by every search against this snapshot.
+    _mask_pool: list = field(default_factory=list, repr=False, compare=False)
+    _inf_pool: list = field(default_factory=list, repr=False, compare=False)
+    _rows: list | None = field(default=None, repr=False, compare=False)
 
     @property
     def n(self) -> int:
@@ -132,6 +139,25 @@ class CSRGraph:
                 ),
             )
         return self._lists
+
+    def row_lists(self) -> list[list[tuple[int, float]]]:
+        """Per-node ``[(v, w), ...]`` rows in CSR edge order, cached.
+
+        Iterating a row of tuples (one ``FOR_ITER`` + unpack per edge)
+        is about twice as fast in CPython as the ``indptr`` index
+        arithmetic over the flat mirrors, so the hottest relaxation
+        loops (the flat A* kernel and the incremental-SPT settle loop)
+        run over these.  Edge order — and therefore every tie-break —
+        is identical to the flat arrays.
+        """
+        if self._rows is None:
+            indptr, heads, wts = self.adjacency_lists()
+            rows = [
+                list(zip(heads[indptr[u] : indptr[u + 1]], wts[indptr[u] : indptr[u + 1]]))
+                for u in range(self.n)
+            ]
+            object.__setattr__(self, "_rows", rows)
+        return self._rows
 
 
 def to_csr(graph) -> CSRGraph:

@@ -33,7 +33,13 @@ from repro.graph.digraph import DiGraph
 from repro.landmarks.selection import select_landmarks
 from repro.pathing.dijkstra import single_source_distances
 
-__all__ = ["LandmarkIndex", "TargetBounds", "ZERO_BOUNDS", "ZeroBounds"]
+__all__ = [
+    "LandmarkIndex",
+    "TargetBounds",
+    "LazySourceBounds",
+    "ZERO_BOUNDS",
+    "ZeroBounds",
+]
 
 INF = float("inf")
 
@@ -46,16 +52,92 @@ class TargetBounds:
     into the A* kernels as heuristics on the transformed graph ``G_Q``.
     """
 
-    __slots__ = ("values", "_n")
+    __slots__ = ("values", "_n", "_dense")
 
     def __init__(self, values: np.ndarray) -> None:
         self.values = values
         self._n = len(values)
+        self._dense: list[float] | None = None
 
     def __call__(self, u: int) -> float:
         if u >= self._n:
             return 0.0
         return self.values[u]
+
+    def dense(self, size: int) -> list[float]:
+        """Plain-list mirror padded with ``0.0`` for virtual ids, cached.
+
+        The flat iterative-bounding engine indexes this list in its
+        inner loops instead of paying a Python call per relaxation;
+        entry ``u`` equals ``self(u)`` bit-for-bit for every
+        ``u < size``.  The mirror is cached on the instance, so a
+        prepared category's bound vector is converted once and shared
+        by every query against it.
+        """
+        mirror = self._dense
+        if mirror is None or len(mirror) < size:
+            mirror = self.values.tolist()
+            mirror.extend(0.0 for _ in range(size - self._n))
+            self._dense = mirror
+        return mirror
+
+
+class LazySourceBounds:
+    """``lb(V_S, u)`` evaluated per node on demand, memoised.
+
+    :meth:`LandmarkIndex.from_source_bounds` materialises the whole
+    ``O(|L| n)`` bound vector up front — several full passes over the
+    landmark distance matrix *per query* — but the incremental-SPT
+    algorithm only ever consults the bound for the handful of nodes
+    its one-hop ``CompLB`` finds outside the tree.  This proxy runs
+    the same subtraction/masking/reduction on **one column** of the
+    matrix per distinct node asked about, so each value is
+    bit-identical to the eager vector's entry while a typical query
+    touches a few dozen columns instead of all ``n``.
+
+    Algorithms that genuinely read the bound densely (the ``SPT_P``
+    backward build) call :meth:`eager` to get the classic
+    :class:`TargetBounds` vector instead.
+    """
+
+    __slots__ = ("_index", "_sources", "_dist", "_dmax", "_n", "_memo", "_eager")
+
+    def __init__(self, index: "LandmarkIndex", sources: Sequence[int]) -> None:
+        if not sources:
+            raise LandmarkError("source set must be non-empty")
+        self._index = index
+        self._sources = tuple(sources)
+        dist = index._dist
+        self._dist = dist
+        self._dmax: np.ndarray | None = None  # reduced on first call
+        self._n = dist.shape[1]
+        self._memo: dict[int, float] = {}
+        self._eager: TargetBounds | None = None
+
+    def __call__(self, u: int) -> float:
+        if u >= self._n:
+            return 0.0
+        bound = self._memo.get(u)
+        if bound is None:
+            dmax = self._dmax
+            if dmax is None:
+                dmax = self._dmax = self._dist[:, list(self._sources)].max(axis=1)
+            col = self._dist[:, u]
+            with np.errstate(invalid="ignore"):  # inf - inf -> nan, masked below
+                diff = col - dmax
+            diff[np.isinf(dmax) & np.isinf(col)] = -INF
+            diff[np.isnan(diff)] = -INF
+            bound = float(diff.max())
+            if np.isneginf(bound) or bound < 0.0:
+                bound = 0.0
+            self._memo[u] = bound
+        return bound
+
+    def eager(self) -> TargetBounds:
+        """The full :meth:`LandmarkIndex.from_source_bounds` vector, cached."""
+        if self._eager is None:
+            self._eager = self._index.from_source_bounds(self._sources)
+        return self._eager
 
 
 class ZeroBounds:
@@ -189,6 +271,16 @@ class LandmarkIndex:
         bounds[np.isneginf(bounds)] = 0.0
         np.maximum(bounds, 0.0, out=bounds)
         return TargetBounds(bounds)
+
+    def lazy_source_bounds(self, sources: Sequence[int]) -> LazySourceBounds:
+        """A :class:`LazySourceBounds` proxy over this index.
+
+        Same values as :meth:`from_source_bounds`, computed per node
+        on first use — the right trade for algorithms that consult
+        the source bound sparsely (``CompLB-SPT_I``'s out-of-tree
+        fallback).
+        """
+        return LazySourceBounds(self, sources)
 
     # ------------------------------------------------------------------
     # Persistence

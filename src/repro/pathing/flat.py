@@ -42,6 +42,11 @@ from repro.graph.csr import CSRGraph
 __all__ = [
     "HAVE_SCIPY",
     "FlatScratch",
+    "StampedNodeMask",
+    "acquire_node_mask",
+    "release_node_mask",
+    "acquire_inf_array",
+    "release_inf_array",
     "flat_single_source_distances",
     "flat_multi_source_distances",
     "flat_shortest_path",
@@ -99,6 +104,71 @@ def acquire_scratch(csr: CSRGraph) -> FlatScratch:
 def release_scratch(csr: CSRGraph, scratch: FlatScratch) -> None:
     """Return a scratch buffer to the snapshot's pool for reuse."""
     csr._scratch_pool.append(scratch)
+
+
+class StampedNodeMask:
+    """A reusable node-set membership mask, generation-stamped.
+
+    ``fill(nodes)`` makes exactly ``nodes`` members in ``O(|nodes|)``
+    — no clearing, no per-call allocation — by bumping the generation
+    and stamping the given ids.  The iterative-bounding engine keeps
+    one per query for the subspace ``blocked`` sets: each of the
+    thousands of ``TestLB`` calls re-stamps it from the prefix instead
+    of materialising a fresh set.  The flat A* kernel recognises the
+    type and reads ``stamp``/``gen`` directly in its inner loop.
+    """
+
+    __slots__ = ("stamp", "gen")
+
+    def __init__(self, n: int) -> None:
+        self.stamp: list[int] = [0] * n
+        self.gen = 0
+
+    def fill(self, nodes) -> "StampedNodeMask":
+        """Reset membership to exactly ``nodes``; returns self."""
+        self.gen = gen = self.gen + 1
+        stamp = self.stamp
+        for v in nodes:
+            stamp[v] = gen
+        return self
+
+    def __contains__(self, v: int) -> bool:
+        return self.stamp[v] == self.gen
+
+
+def acquire_node_mask(csr: CSRGraph) -> StampedNodeMask:
+    """Check a node mask out of the snapshot's pool (or make one)."""
+    pool = csr._mask_pool
+    if pool:
+        return pool.pop()
+    return StampedNodeMask(csr.n)
+
+
+def release_node_mask(csr: CSRGraph, mask: StampedNodeMask) -> None:
+    """Return a node mask to the snapshot's pool for reuse."""
+    csr._mask_pool.append(mask)
+
+
+def acquire_inf_array(csr: CSRGraph) -> list[float]:
+    """An all-``inf`` float list of length ``n`` from the pool.
+
+    The incremental-SPT engine uses one as its dense heuristic vector
+    (settled nodes carry their exact distance, everything else stays
+    ``inf`` = "outside the tree, prune").  The caller must return it
+    via :func:`release_inf_array` with the list of indices it wrote,
+    which restores the all-``inf`` invariant in ``O(|touched|)``.
+    """
+    pool = csr._inf_pool
+    if pool:
+        return pool.pop()
+    return [INF] * csr.n
+
+
+def release_inf_array(csr: CSRGraph, arr: list[float], touched) -> None:
+    """Reset ``touched`` entries to ``inf`` and return ``arr`` to the pool."""
+    for v in touched:
+        arr[v] = INF
+    csr._inf_pool.append(arr)
 
 
 # ----------------------------------------------------------------------
@@ -277,13 +347,14 @@ def flat_bounded_astar_path(
     csr: CSRGraph,
     source: int,
     target: int,
-    heuristic: Callable[[int], float] | None,
+    heuristic: Callable[[int], float] | Sequence[float] | None,
     bound: float,
     blocked: Collection[int] = (),
     banned_first_hops: Collection[int] = (),
     initial_distance: float = 0.0,
     stats=None,
     info: dict | None = None,
+    collect_dists: bool = False,
 ) -> tuple[tuple[int, ...], float] | None:
     """Bounded A* (the ``TestLB`` kernel) on the flat arrays.
 
@@ -291,33 +362,77 @@ def flat_bounded_astar_path(
     ``heuristic=None`` means the zero heuristic (plain Dijkstra).
     ``info["pruned"]`` reports whether the ``bound`` rejected any
     relaxation, exactly like the dict kernel.
+
+    Two flat-engine extensions keep the per-call setup O(1):
+
+    * ``heuristic`` may be a *dense sequence* — ``h[v]`` is then read
+      by index instead of through a Python call per relaxation (this
+      is how the iterative-bounding engine supplies the precomputed
+      landmark bound vector, or the incremental tree's distance
+      array);
+    * ``blocked`` is any iterable of node ids (a subspace prefix works
+      as-is, head included): the nodes are pre-stamped "settled" in
+      the pooled scratch, ``O(|blocked|)`` setup with **zero** per-edge
+      membership cost, and the search source is re-opened afterwards.
+
+    With ``collect_dists=True`` (and ``info`` given) a successful
+    search additionally reports ``info["tail_dists"]`` — the settled
+    distance of every path node, aligned with the returned path.
+    Entry ``i`` is exactly the prefix weight of ``path[: i + 1]``
+    (the same left-to-right float accumulation a caller would redo
+    with per-edge weight lookups), which lets the iterative-bounding
+    engine divide subspaces without touching adjacency again.
     """
     if info is not None:
         info["pruned"] = False
+        if collect_dists:
+            info["tail_dists"] = None
     if target == source:
+        if info is not None and collect_dists:
+            info["tail_dists"] = [initial_distance]
         return (source,), initial_distance
     h = heuristic
-    start_f = initial_distance + (h(source) if h is not None else 0.0)
+    if h is None:
+        h_arr = None
+    elif callable(h):
+        h_arr = None
+    else:
+        h_arr = h
+        h = None
+    if h_arr is not None:
+        start_f = initial_distance + h_arr[source]
+    elif h is not None:
+        start_f = initial_distance + h(source)
+    else:
+        start_f = initial_distance
     if start_f > bound:
         if info is not None:
             info["pruned"] = True
         return None
-    indptr, heads, wts = csr.adjacency_lists()
+    rows = csr.row_lists()
     scratch = acquire_scratch(csr)
+    settled_count = 0
+    relaxed_count = 0
+    bound_pruned = False  # batched into info["pruned"] in the finally
     try:
         gen = scratch.begin()
         dist = scratch.dist
         parent = scratch.parent
         stamp = scratch.stamp
         settled_gen = -gen  # stamp value marking "settled this search"
-        blocked_set = (
-            blocked if isinstance(blocked, (set, frozenset)) else set(blocked)
-        )
         banned = (
             banned_first_hops
-            if isinstance(banned_first_hops, (set, frozenset))
+            if isinstance(banned_first_hops, (set, frozenset, StampedNodeMask))
             else set(banned_first_hops)
         )
+        # Blocked nodes are pre-stamped "settled": the relaxation loop's
+        # existing settled check then rejects them for free, with no
+        # per-edge membership test.  They are never pushed, so never
+        # popped or counted.  Stamping the source back to ``gen``
+        # afterwards makes passing a whole path prefix (head included)
+        # equivalent to blocking ``prefix[:-1]``.
+        for b in blocked:
+            stamp[b] = settled_gen
         dist[source] = initial_distance
         stamp[source] = gen
         heap: list[tuple[float, int]] = [(start_f, source)]
@@ -326,8 +441,7 @@ def flat_bounded_astar_path(
             if stamp[u] == settled_gen:
                 continue
             stamp[u] = settled_gen
-            if stats is not None:
-                stats.nodes_settled += 1
+            settled_count += 1
             du = dist[u]
             if u == target:
                 path = [target]
@@ -336,30 +450,37 @@ def flat_bounded_astar_path(
                     node = parent[node]
                     path.append(node)
                 path.reverse()
+                if info is not None and collect_dists:
+                    info["tail_dists"] = [dist[x] for x in path]
                 return tuple(path), du
             at_source = u == source
-            for i in range(indptr[u], indptr[u + 1]):
-                v = heads[i]
-                if stamp[v] == settled_gen or v in blocked_set:
+            for v, w in rows[u]:
+                st = stamp[v]
+                if st == settled_gen:
                     continue
                 if at_source and v in banned:
                     continue
-                nd = du + wts[i]
-                if stamp[v] != gen or nd < dist[v]:
-                    if h is not None:
+                nd = du + w
+                if st != gen or nd < dist[v]:
+                    if h_arr is not None:
+                        estimate = nd + h_arr[v]
+                    elif h is not None:
                         estimate = nd + h(v)
                     else:
                         estimate = nd
                     if estimate > bound:
-                        if info is not None:
-                            info["pruned"] = True
+                        bound_pruned = True
                         continue
                     dist[v] = nd
                     parent[v] = u
                     stamp[v] = gen
                     heappush(heap, (estimate, v))
-                    if stats is not None:
-                        stats.edges_relaxed += 1
+                    relaxed_count += 1
         return None
     finally:
         release_scratch(csr, scratch)
+        if info is not None and bound_pruned:
+            info["pruned"] = True
+        if stats is not None:
+            stats.nodes_settled += settled_count
+            stats.edges_relaxed += relaxed_count

@@ -109,7 +109,7 @@ def _warm_cache(solver, queries: Sequence[BatchQuery]) -> None:
             continue
 
 
-def run_batch(solver, queries: Sequence, workers: int = 1) -> list:
+def run_batch(solver, queries: Sequence, workers: int = 1, stats=None) -> list:
     """Answer ``queries`` with ``solver``, sharded over ``workers``.
 
     Returns one :class:`~repro.core.result.QueryResult` per query, in
@@ -117,24 +117,44 @@ def run_batch(solver, queries: Sequence, workers: int = 1) -> list:
     platform without ``fork``) runs sequentially in-process; larger
     values fork a pool after warming the solver's prepared-category
     cache for the workload's destination sets.
+
+    When a :class:`~repro.core.stats.SearchStats` is passed as
+    ``stats`` it receives the **aggregate** of the whole batch: every
+    per-query counter merged across results (workers included — the
+    counters ride back with each ``QueryResult``), plus the parent's
+    prepared-cache activity from the pre-fork warm-up, which belongs
+    to no individual query and would otherwise be invisible.
     """
     global _WORKER_SOLVER
     batch = [_coerce(q) for q in queries]
     if not batch:
         return []
     workers = min(int(workers), len(batch))
+    results: list | None = None
     if workers > 1:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             ctx = None
         if ctx is not None:
+            before = solver.cache_info()
             _warm_cache(solver, batch)
+            after = solver.cache_info()
+            if stats is not None:
+                stats.prepared_cache_hits += after["hits"] - before["hits"]
+                stats.prepared_cache_misses += after["misses"] - before["misses"]
             _WORKER_SOLVER = solver
             try:
                 with ctx.Pool(processes=workers) as pool:
                     chunk = max(1, len(batch) // (4 * workers))
-                    return list(pool.imap(_worker_execute, batch, chunksize=chunk))
+                    results = list(
+                        pool.imap(_worker_execute, batch, chunksize=chunk)
+                    )
             finally:
                 _WORKER_SOLVER = None
-    return [_execute(solver, q) for q in batch]
+    if results is None:
+        results = [_execute(solver, q) for q in batch]
+    if stats is not None:
+        for result in results:
+            stats.merge(result.stats)
+    return results

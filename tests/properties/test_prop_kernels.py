@@ -67,6 +67,34 @@ def test_flat_matches_dict_on_every_algorithm(case):
 
 @settings(max_examples=25, deadline=None)
 @given(case=graph_and_query())
+def test_flat_returns_identical_paths_per_algorithm(case):
+    """The strong form of the parity invariant: for every registry
+    algorithm the flat substrate returns the *exact same paths* — node
+    sequences and bit-for-bit lengths — as the dict substrate, not just
+    the same length multiset.
+
+    The one exception is ``da-spt``: its deviation order follows the
+    SPT parent structure, and the scipy-built SPT breaks equal-distance
+    ties differently from the dict build, so only the length multiset
+    is specified.
+    """
+    g, source, destinations, k = case
+    cats = CategoryIndex({"T": destinations})
+    solver_dict = KPJSolver(g, cats, landmarks=min(3, g.n), kernel="dict")
+    solver_flat = KPJSolver(g, cats, landmarks=min(3, g.n), kernel="flat")
+    for algorithm in sorted(ALGORITHMS):
+        a = solver_dict.top_k(source, category="T", k=k, algorithm=algorithm)
+        b = solver_flat.top_k(source, category="T", k=k, algorithm=algorithm)
+        if algorithm == "da-spt":
+            assert _length_multiset(a) == _length_multiset(b), algorithm
+            continue
+        assert [(p.length, p.nodes) for p in a.paths] == [
+            (p.length, p.nodes) for p in b.paths
+        ], algorithm
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=graph_and_query())
 def test_cached_matches_uncached_on_every_algorithm(case):
     g, source, destinations, k = case
     cats = CategoryIndex({"T": destinations})

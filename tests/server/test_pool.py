@@ -8,6 +8,7 @@ solving, in submission order, with the prepared-category cache warm.
 import pytest
 
 from repro.core.kpj import KPJSolver
+from repro.core.stats import SearchStats
 from repro.datasets.registry import road_network
 from repro.exceptions import QueryError
 from repro.server.pool import BatchQuery, _coerce, run_batch
@@ -132,6 +133,63 @@ class TestParallel:
         results = run_batch(solver, queries, workers=2)
         assert len(results) == 1
         assert results[0].paths
+
+
+class TestStatsAggregation:
+    def test_sequential_total_is_sum_of_results(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 8)
+        total = SearchStats()
+        results = solver.solve_batch(queries, stats=total)
+        expected = SearchStats()
+        for r in results:
+            expected.merge(r.stats)
+        assert total.as_dict() == expected.as_dict()
+        assert total.lb_tests > 0
+        assert total.nodes_settled > 0
+
+    def test_parallel_total_includes_worker_counters(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 12)
+        seq_total = SearchStats()
+        solver.solve_batch(queries, workers=1, stats=seq_total)
+        par_total = SearchStats()
+        results = solver.solve_batch(queries, workers=3, stats=par_total)
+        # Search-work counters ride back with each result and merge to
+        # the same totals regardless of which process did the work.
+        seq, par = seq_total.as_dict(), par_total.as_dict()
+        for field in (
+            "shortest_path_computations",
+            "lower_bound_computations",
+            "lb_tests",
+            "lb_test_failures",
+            "nodes_settled",
+            "edges_relaxed",
+            "subspaces_created",
+        ):
+            assert par[field] == seq[field], field
+        assert par["lb_tests"] == sum(r.stats.lb_tests for r in results)
+
+    def test_parallel_total_counts_parent_warm_up(self, sj_solver):
+        dataset, _ = sj_solver
+        solver = KPJSolver(dataset.graph, dataset.categories, landmarks=None)
+        queries = [
+            BatchQuery(source=s, category="T1", k=3) for s in range(8)
+        ]
+        total = SearchStats()
+        solver.solve_batch(queries, workers=2, stats=total)
+        # The pre-fork warm-up's cache misses belong to no single query
+        # but must appear in the aggregate; every worker-answered query
+        # is then a hit.
+        assert total.prepared_cache_misses >= 1
+        assert total.prepared_cache_hits >= len(queries)
+
+    def test_stats_none_is_default(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 2)
+        assert _fingerprint(solver.solve_batch(queries)) == _fingerprint(
+            solver.solve_batch(queries, stats=None)
+        )
 
 
 @pytest.mark.slow
