@@ -34,6 +34,7 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.categories import CategoryIndex
 from repro.graph.digraph import DiGraph
 from repro.landmarks.index import LandmarkIndex
+from repro.obs.metrics import MetricsRegistry
 
 __version__ = "1.0.0"
 
@@ -59,5 +60,6 @@ __all__ = [
     "CategoryIndex",
     "DiGraph",
     "LandmarkIndex",
+    "MetricsRegistry",
     "__version__",
 ]

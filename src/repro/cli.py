@@ -6,15 +6,21 @@ Subcommands::
     kpj batch    --dataset CAL --category Lake --sources 1,2,3 --workers 4
     kpj datasets
     kpj bench    --figure fig7 [--queries 3]
+    kpj metrics  --workload workload.json
 
 ``query`` answers one KPJ query on a named dataset and prints the
 paths; ``batch`` answers a whole workload (optionally across a worker
 pool) and reports throughput; ``datasets`` lists the registry
 (Table-1 style); ``bench`` reproduces one figure and prints its
-table.  ``--kernel flat`` switches any query-answering subcommand to
-the CSR flat-array search substrate, and ``--stats`` prints the
-instrumentation counters (search work, kernel dispatches, prepared-
-cache hits/misses) next to the answers.
+table; ``metrics`` replays a workload file and emits the aggregate
+registry as Prometheus text exposition.  ``--kernel flat`` switches
+any query-answering subcommand to the CSR flat-array search
+substrate, ``--stats`` prints the instrumentation counters (search
+work, kernel dispatches, prepared-cache hits/misses) next to the
+answers, and ``--metrics json|text`` attaches a
+:class:`~repro.obs.metrics.MetricsRegistry` and emits the structured
+run report (phase wall times, counters, gauges, and — for batches —
+p50/p95/p99 query latency).
 """
 
 from __future__ import annotations
@@ -71,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
     )
+    query.add_argument(
+        "--metrics",
+        choices=("json", "text"),
+        default=None,
+        help="emit the structured metrics report (phase timers etc.)",
+    )
 
     batch = sub.add_parser(
         "batch", help="answer a query workload, optionally in parallel"
@@ -105,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--json", action="store_true", help="emit all results as JSON"
     )
+    batch.add_argument(
+        "--metrics",
+        choices=("json", "text"),
+        default=None,
+        help="emit the aggregate metrics report with latency percentiles",
+    )
 
     sub.add_parser("datasets", help="list datasets (Table 1)")
 
@@ -130,14 +148,40 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--k", type=int, default=5)
     explain.add_argument("--landmarks", type=int, default=16)
     explain.add_argument("--limit", type=int, default=40, help="max events shown")
+    explain.add_argument(
+        "--kernel", default="dict", choices=KERNELS, help="search substrate"
+    )
+    explain.add_argument(
+        "--algorithm",
+        default="iter-bound",
+        choices=("iter-bound", "iter-bound-spti"),
+        help="which iteratively bounding variant to narrate",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="replay a workload file and print Prometheus exposition"
+    )
+    metrics.add_argument(
+        "--workload",
+        required=True,
+        help="JSON file: {dataset, landmarks?, kernel?, workers?, queries: [...]}",
+    )
+    metrics.add_argument(
+        "--prefix", default="kpj", help="metric name prefix (default: kpj)"
+    )
     return parser
 
 
 def _print_stats(stats) -> None:
-    """Render instrumentation counters, one aligned line per field."""
+    """Render instrumentation counters: nonzero fields only, aligned."""
+    fields = stats.nonzero()
     print("stats:")
-    for name, value in stats.as_dict().items():
-        print(f"  {name:<28} {value}")
+    if not fields:
+        print("  (all counters zero)")
+        return
+    width = max(len(name) for name in fields)
+    for name, value in fields.items():
+        print(f"  {name:<{width}}  {value}")
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -145,15 +189,30 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.source < 0 or args.source >= dataset.n:
         print(f"source must be in [0, {dataset.n})", file=sys.stderr)
         return 2
+    reg = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
     solver = KPJSolver(
         dataset.graph,
         dataset.categories,
         landmarks=args.landmarks,
         kernel=args.kernel,
+        metrics=reg,
     )
     result = solver.top_k(
         args.source, category=args.category, k=args.k, algorithm=args.algorithm
     )
+    if args.metrics == "json":
+        import json
+
+        print(
+            json.dumps(
+                {"result": result.to_dict(), "metrics": reg.report()}, indent=2
+            )
+        )
+        return 0
     if args.json:
         import json
 
@@ -169,8 +228,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"{rank:3d}. length {path.length:10.4f}  {nodes}")
     if not result.paths:
         print("  (no path found)")
+    print(f"elapsed {result.elapsed_ms:.1f}ms")
     if args.stats:
         _print_stats(result.stats)
+    if args.metrics == "text":
+        print(reg.render_text())
     return 0
 
 
@@ -199,12 +261,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if source < 0 or source >= dataset.n:
             print(f"source {source} must be in [0, {dataset.n})", file=sys.stderr)
             return 2
+    reg = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
     solver = KPJSolver(
         dataset.graph,
         dataset.categories,
         landmarks=args.landmarks,
         kernel=args.kernel,
+        metrics=reg,
     )
+    if reg is not None:
+        # The registry captured landmark_build during construction;
+        # detach it so run_batch installs its own per-batch registry
+        # (the aggregate arrives via the ``metrics=`` merge — leaving
+        # it attached would double-count sequential batches).
+        solver.metrics = None
     queries = [
         BatchQuery(
             source=source,
@@ -216,8 +290,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ]
     total = SearchStats() if args.stats else None
     start = time.perf_counter()
-    results = solver.solve_batch(queries, workers=args.workers, stats=total)
+    results = solver.solve_batch(
+        queries, workers=args.workers, stats=total, metrics=reg
+    )
     elapsed = time.perf_counter() - start
+    if args.metrics == "json":
+        import json
+
+        print(json.dumps(_batch_report(args, results, elapsed, reg), indent=2))
+        return 0
     if args.json:
         import json
 
@@ -255,7 +336,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(f"elapsed {elapsed * 1000.0:.1f}ms  ({throughput:.1f} queries/s)")
     if total is not None:
         _print_stats(total)
+    if args.metrics == "text":
+        print(reg.render_text())
     return 0
+
+
+def _batch_report(args, results, elapsed: float, reg) -> dict:
+    """The ``batch --metrics json`` document (one pipeable JSON object)."""
+    latency = reg.histograms.get("query_latency_ms")
+
+    def _q(q: float):
+        if latency is None or latency.total == 0:
+            return None
+        return latency.quantile(q)
+
+    return {
+        "dataset": args.dataset,
+        "category": args.category,
+        "algorithm": args.algorithm,
+        "kernel": args.kernel,
+        "workers": args.workers,
+        "queries": len(results),
+        "elapsed_s": elapsed,
+        "queries_per_s": len(results) / elapsed if elapsed else 0.0,
+        "latency_ms": {"p50": _q(0.50), "p95": _q(0.95), "p99": _q(0.99)},
+        "metrics": reg.report(),
+    }
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -281,8 +387,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    import time
-
     dataset = road_network(args.dataset)
     if args.source < 0 or args.source >= dataset.n:
         print(f"source must be in [0, {dataset.n})", file=sys.stderr)
@@ -294,11 +398,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     reference: tuple[float, ...] | None = None
     mismatches = 0
     for algorithm in sorted(ALGORITHMS):
-        start = time.perf_counter()
         result = solver.top_k(
             args.source, category=args.category, k=args.k, algorithm=algorithm
         )
-        elapsed = (time.perf_counter() - start) * 1000.0
+        elapsed = result.elapsed_ms
         lengths = tuple(round(x, 9) for x in result.lengths)
         if reference is None:
             reference = lengths
@@ -320,30 +423,87 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.core.iter_bound import iter_bound
+    from repro.core.spt_incremental import iter_bound_spti
     from repro.core.trace import SearchTrace
     from repro.graph.virtual import build_query_graph
+    from repro.landmarks.index import ZERO_BOUNDS
+    from repro.pathing.kernels import use_kernel
 
     dataset = road_network(args.dataset)
     if args.source < 0 or args.source >= dataset.n:
         print(f"source must be in [0, {dataset.n})", file=sys.stderr)
         return 2
-    solver = KPJSolver(dataset.graph, dataset.categories, landmarks=args.landmarks)
+    solver = KPJSolver(
+        dataset.graph,
+        dataset.categories,
+        landmarks=args.landmarks,
+        kernel=args.kernel,
+    )
     destinations = dataset.categories.nodes_of(args.category)
     qg = build_query_graph(dataset.graph, (args.source,), destinations)
+    lm = solver.landmark_index
     bounds = (
-        solver.landmark_index.to_target_bounds(qg.destinations)
-        if solver.landmark_index is not None
-        else (lambda _: 0.0)
+        lm.to_target_bounds(qg.destinations) if lm is not None else ZERO_BOUNDS
     )
     trace = SearchTrace()
-    paths = iter_bound(qg, args.k, bounds, trace=trace)
+    with use_kernel(args.kernel):
+        if args.algorithm == "iter-bound-spti":
+            source_bounds = (
+                lm.lazy_source_bounds(qg.sources) if lm is not None else ZERO_BOUNDS
+            )
+            paths = iter_bound_spti(qg, args.k, bounds, source_bounds, trace=trace)
+        else:
+            paths = iter_bound(qg, args.k, bounds, trace=trace)
     print(
-        f"IterBound on {args.dataset}: node {args.source} -> category "
+        f"{args.algorithm} ({args.kernel} kernel) on {args.dataset}: "
+        f"node {args.source} -> category "
         f"{args.category!r} (|V_T|={len(destinations)}), k={args.k}\n"
     )
     print(trace.render(limit=args.limit))
     print(f"\nfound {len(paths)} paths; lengths: "
           + ", ".join(f"{p.length:.4g}" for p in paths))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.stats import SearchStats
+    from repro.obs.metrics import MetricsRegistry
+
+    try:
+        with open(args.workload) as fh:
+            spec = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read workload {args.workload!r}: {exc}", file=sys.stderr)
+        return 2
+    name = spec.get("dataset")
+    if name not in available_datasets():
+        known = ", ".join(available_datasets())
+        print(f"workload dataset must be one of: {known}", file=sys.stderr)
+        return 2
+    queries = spec.get("queries")
+    if not queries:
+        print("workload has no queries", file=sys.stderr)
+        return 2
+    dataset = road_network(name)
+    reg = MetricsRegistry()
+    solver = KPJSolver(
+        dataset.graph,
+        dataset.categories,
+        landmarks=spec.get("landmarks", 16),
+        kernel=spec.get("kernel", "dict"),
+        metrics=reg,  # captures landmark_build
+    )
+    # Detach: run_batch installs a per-batch registry and delivers the
+    # aggregate through ``metrics=`` (avoids double-counting).
+    solver.metrics = None
+    stats = SearchStats()
+    solver.solve_batch(
+        queries, workers=int(spec.get("workers", 1)), stats=stats, metrics=reg
+    )
+    reg.merge_stats(stats)
+    sys.stdout.write(reg.render_prom(prefix=args.prefix))
     return 0
 
 
@@ -362,6 +522,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -111,9 +111,12 @@ class FlatQueryContext:
         heuristic=None,
         csr: CSRGraph | None = None,
         h: list[float] | Callable[[int], float] | None = None,
+        metrics=None,
     ) -> None:
         self.csr = csr if csr is not None else shared_csr(graph)
         self.h = h if h is not None else dense_heuristic(heuristic, self.csr.n)
+        if metrics is not None:
+            metrics.inc("flat_query_contexts")
 
     def make_test_lb(self, goal: int, stats: SearchStats | None):
         """The ``TestLB`` closure for :func:`iter_bound_search`.
@@ -191,6 +194,8 @@ class FlatIncrementalSPT:
         "_dest_dists",
         "_dest_cache",
         "_stats",
+        "_metrics",
+        "_heap_peak",
     )
 
     def __init__(
@@ -200,6 +205,7 @@ class FlatIncrementalSPT:
         target_bounds,
         destinations: frozenset[int],
         stats: SearchStats | None = None,
+        metrics=None,
     ) -> None:
         self._csr = csr
         self._rows = csr.row_lists()
@@ -226,6 +232,8 @@ class FlatIncrementalSPT:
         self._dest_dists: list[float] = []
         self._dest_cache: tuple[np.ndarray, np.ndarray] | None = None
         self._stats = stats
+        self._metrics = metrics
+        self._heap_peak = 1
         self._dist[source] = 0.0
         self._stamp[source] = self._gen
         self._heap: list[tuple[float, int]] = [(self._key(source, 0.0), source)]
@@ -315,6 +323,10 @@ class FlatIncrementalSPT:
         if stats is not None:
             stats.nodes_settled += len(settled_order) - before
             stats.edges_relaxed += relaxed
+        if self._metrics is not None and len(heap) > self._heap_peak:
+            # The queue peak at phase boundaries — one check per grow
+            # call, not per settled node.
+            self._heap_peak = len(heap)
         return found
 
     def build_initial(self, target: int) -> tuple[tuple[int, ...], float] | None:
@@ -381,6 +393,11 @@ class FlatIncrementalSPT:
 
     def close(self) -> None:
         """Return the pooled buffers; the tree must not be used after."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.set_gauge("spt_heap_peak", self._heap_peak)
+            metrics.set_gauge("spt_settled_peak", len(self._settled_order))
+            metrics.set_gauge("flat_scratch_stamp_gen", self._gen)
         if self._scratch is not None:
             release_scratch(self._csr, self._scratch)
             self._scratch = None
@@ -510,13 +527,20 @@ def flat_spti_search(
     source_bounds: Callable[[int], float],
     alpha: float = 1.1,
     stats: SearchStats | None = None,
+    trace=None,
+    metrics=None,
 ) -> list[Path]:
     """``IterBound-SPT_I`` (Algs. 4, 7, 8) entirely on the flat engine.
 
     Drop-in replacement for the dict
     :func:`repro.core.spt_incremental.iter_bound_spti` — same
     parameters, identical returned paths — dispatched automatically
-    when the ambient kernel is ``"flat"``.
+    when the ambient kernel is ``"flat"``.  ``trace`` records the same
+    ``output``/``test-hit``/``test-miss``/``retire`` events as the
+    dict engine (``kpj explain --kernel flat``); ``metrics`` receives
+    the ``comp_sp`` phase plus the tree's size gauges, with the
+    driver's ``spt_grow``/``test_lb``/``division`` phases attributed
+    by :func:`~repro.core.iter_bound.iter_bound_search`.
     """
     from repro.core.iter_bound import iter_bound_search
 
@@ -525,12 +549,17 @@ def flat_spti_search(
     rcsr = csr.reverse()
     destinations = frozenset(query_graph.destinations)
     tree = FlatIncrementalSPT(
-        csr, query_graph.source, target_bounds, destinations, stats=stats
+        csr, query_graph.source, target_bounds, destinations, stats=stats,
+        metrics=metrics,
     )
-    ctx = FlatQueryContext(csr=rcsr, h=tree.h)
+    ctx = FlatQueryContext(csr=rcsr, h=tree.h, metrics=metrics)
     try:
         stats.shortest_path_computations += 1
-        initial = tree.build_initial(query_graph.target)
+        if metrics is not None:
+            with metrics.phase_timer("comp_sp"):
+                initial = tree.build_initial(query_graph.target)
+        else:
+            initial = tree.build_initial(query_graph.target)
         if initial is None:
             return []
         first_path, first_length = initial
@@ -575,6 +604,8 @@ def flat_spti_search(
                 tree, reversed_graph.adjacency, comp_lb, source_bounds
             ),
             initial_dists=init_dists,
+            trace=trace,
+            metrics=metrics,
         )
         stats.spt_nodes = len(tree)
         return [

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from itertools import count
+from time import perf_counter
 from typing import Callable
 
 from repro.core.flat_engine import FlatQueryContext
@@ -56,6 +57,7 @@ def iter_bound_search(
     use_flat_engine: bool | None = None,
     comp_lb_children: Callable | None = None,
     initial_dists: list[float] | None = None,
+    metrics=None,
 ) -> list[Path]:
     """Generic Alg. 4 driver; returns paths in ``graph`` coordinates.
 
@@ -108,6 +110,13 @@ def iter_bound_search(
         weight of ``path[: i + 1]`` accumulated left-to-right exactly
         as ``divide`` would.  Lets the first (largest) division skip
         the per-hop ``edge_weight`` walk.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the driver's phase attribution — ``comp_sp`` (the initial
+        shortest-path computation, when run here), ``spt_grow`` (time
+        inside ``before_test``), ``test_lb``, ``division`` — plus the
+        subspace-queue peak gauge.  Times accumulate in locals and
+        flush once; disabled cost is one ``None`` check per site.
     """
     if not alpha > 1.0:
         raise ValueError(f"alpha must be > 1, got {alpha}")
@@ -142,9 +151,14 @@ def iter_bound_search(
                     info=info,
                 )
 
+    timed = metrics is not None
     if initial is None:
         stats.shortest_path_computations += 1
+        if timed:
+            t0 = perf_counter()
         initial = astar_path(graph, root, goal, heuristic, stats=stats)
+        if timed:
+            metrics.observe_phase("comp_sp", perf_counter() - t0)
     if initial is None:
         return []
     first_path, first_length = initial
@@ -169,41 +183,47 @@ def iter_bound_search(
     results: list[Path] = []
     edge_weight = graph.edge_weight
     test_info: dict = {}
-    # Hot-loop stats are batched in locals and flushed once at the end.
+    # Hot-loop stats (and phase timings, when enabled) are batched in
+    # locals and flushed once at the end.
     n_created = 1
     n_lb_computations = 0
     n_pruned = 0
     n_tests = 0
     n_test_failures = 0
+    t_test = t_div = t_grow = 0.0
+    n_div = n_grow = 0
+    queue_peak = 1
     try:
         while queue and len(results) < k:
+            if timed and len(queue) > queue_peak:
+                queue_peak = len(queue)
             bound, _, subspace, found = heappop(queue)
             if found is not None:
                 path, dists = found
                 results.append(Path(length=bound, nodes=path))
                 if trace is not None:
                     trace.record("output", subspace.prefix, bound, length=bound)
+                if timed:
+                    t0 = perf_counter()
                 if comp_lb_children is not None and dists is not None:
-                    for child, child_bound in comp_lb_children(subspace, path, dists):
-                        n_created += 1
-                        n_lb_computations += 1
-                        if child_bound == INF:
-                            n_pruned += 1
-                            continue
-                        if child_bound < bound:
-                            child_bound = bound
-                        heappush(queue, (child_bound, next(tie), child, None))
-                    continue
-                for child in divide(subspace, path, bound, edge_weight, dists):
+                    pairs = comp_lb_children(subspace, path, dists)
+                else:
+                    pairs = [
+                        (child, comp_lb(child))
+                        for child in divide(subspace, path, bound, edge_weight, dists)
+                    ]
+                for child, child_bound in pairs:
                     n_created += 1
                     n_lb_computations += 1
-                    child_bound = comp_lb(child)
                     if child_bound == INF:
                         n_pruned += 1
                         continue
                     if child_bound < bound:
                         child_bound = bound
                     heappush(queue, (child_bound, next(tie), child, None))
+                if timed:
+                    t_div += perf_counter() - t0
+                    n_div += 1
                 continue
             # Enlarge tau: alpha * max(lb(S), next pending bound) — Alg. 4
             # line 9, with the queue top defined as +inf when empty.
@@ -217,9 +237,19 @@ def iter_bound_search(
             if tau >= tau_limit:
                 tau = tau_limit
             if before_test is not None:
-                before_test(tau)
+                if timed:
+                    t0 = perf_counter()
+                    before_test(tau)
+                    t_grow += perf_counter() - t0
+                    n_grow += 1
+                else:
+                    before_test(tau)
             n_tests += 1
+            if timed:
+                t0 = perf_counter()
             hit = test_lb(subspace, tau, test_info)
+            if timed:
+                t_test += perf_counter() - t0
             if hit is not None:
                 tail, length = hit
                 if trace is not None:
@@ -253,6 +283,14 @@ def iter_bound_search(
         stats.subspaces_pruned += n_pruned
         stats.lb_tests += n_tests
         stats.lb_test_failures += n_test_failures
+        if timed:
+            if n_tests:
+                metrics.observe_phase("test_lb", t_test, n_tests)
+            if n_div:
+                metrics.observe_phase("division", t_div, n_div)
+            if n_grow:
+                metrics.observe_phase("spt_grow", t_grow, n_grow)
+            metrics.set_gauge("iterbound_queue_peak", queue_peak)
     stats.subspaces_pruned += sum(1 for entry in queue if entry[3] is None)
     return results
 
@@ -264,6 +302,7 @@ def iter_bound(
     alpha: float = 1.1,
     stats: SearchStats | None = None,
     trace=None,
+    metrics=None,
 ) -> list[Path]:
     """The plain (index-free) ``IterBound`` on a query transform.
 
@@ -279,4 +318,5 @@ def iter_bound(
         alpha=alpha,
         stats=stats,
         trace=trace,
+        metrics=metrics,
     )

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Sequence
 
 from repro.baselines.deviation import deviation_algorithm
@@ -56,6 +57,7 @@ from repro.graph.categories import CategoryIndex
 from repro.graph.digraph import DiGraph
 from repro.graph.virtual import QueryGraph, build_query_graph
 from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex, TargetBounds
+from repro.obs.metrics import SEARCH_PHASES, MetricsRegistry, maybe_phase
 from repro.pathing.kernels import KERNELS, use_kernel
 
 __all__ = [
@@ -75,13 +77,16 @@ class QueryContext:
 
     ``target_bounds``/``source_bounds`` are the Eq. (2)-style landmark
     bound vectors (or the zero bound); ``alpha`` is the iteratively
-    bounding growth factor; ``stats`` collects instrumentation.
+    bounding growth factor; ``stats`` collects instrumentation;
+    ``metrics`` is the per-query registry (``None`` when observability
+    is off — implementations must guard on that, never allocate).
     """
 
     target_bounds: Callable[[int], float]
     source_bounds: Callable[[int], float]
     alpha: float
     stats: SearchStats
+    metrics: MetricsRegistry | None = None
 
 
 def _run_da(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
@@ -97,7 +102,10 @@ def _run_best_first(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
 
 
 def _run_iter_bound(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
-    return iter_bound(qg, k, ctx.target_bounds, alpha=ctx.alpha, stats=ctx.stats)
+    return iter_bound(
+        qg, k, ctx.target_bounds, alpha=ctx.alpha, stats=ctx.stats,
+        metrics=ctx.metrics,
+    )
 
 
 def _run_iter_bound_sptp(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
@@ -109,19 +117,22 @@ def _run_iter_bound_sptp(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path
         # per-column reduction here.
         source_bounds = eager()
     return iter_bound_sptp(
-        qg, k, ctx.target_bounds, source_bounds, alpha=ctx.alpha, stats=ctx.stats
+        qg, k, ctx.target_bounds, source_bounds, alpha=ctx.alpha, stats=ctx.stats,
+        metrics=ctx.metrics,
     )
 
 
 def _run_iter_bound_spti(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
     return iter_bound_spti(
-        qg, k, ctx.target_bounds, ctx.source_bounds, alpha=ctx.alpha, stats=ctx.stats
+        qg, k, ctx.target_bounds, ctx.source_bounds, alpha=ctx.alpha, stats=ctx.stats,
+        metrics=ctx.metrics,
     )
 
 
 def _run_iter_bound_spti_nl(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
     return iter_bound_spti(
-        qg, k, ZERO_BOUNDS, ZERO_BOUNDS, alpha=ctx.alpha, stats=ctx.stats
+        qg, k, ZERO_BOUNDS, ZERO_BOUNDS, alpha=ctx.alpha, stats=ctx.stats,
+        metrics=ctx.metrics,
     )
 
 
@@ -163,6 +174,14 @@ class KPJSolver:
         cross-query cache (``0`` disables caching).  Each entry holds
         the Eq. (2) bound vector (``O(n)`` floats) and, lazily, the
         ``G_Q`` overlay and its CSR export.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        set, every query records phase wall times, counters, and
+        gauges into it (each query runs against a fresh per-query
+        registry whose snapshot rides back on
+        ``QueryResult.metrics``, then merges here).  When ``None``
+        (default) the entire layer stays off — one ``is None`` check
+        per site, no allocation.
 
     Example
     -------
@@ -181,6 +200,7 @@ class KPJSolver:
         seed: int = 0,
         kernel: str = "dict",
         prepared_cache_size: int = 32,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not graph.frozen:
             graph.freeze()
@@ -196,12 +216,14 @@ class KPJSolver:
         self.categories = categories
         self.kernel = kernel
         self.prepared_cache_size = prepared_cache_size
+        self.metrics = metrics
         self._prepared_cache: OrderedDict[tuple, PreparedCategory] = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
         if isinstance(landmarks, int):
             self.landmark_index: LandmarkIndex | None = LandmarkIndex.build(
-                graph, landmarks, strategy=landmark_strategy, seed=seed, kernel=kernel
+                graph, landmarks, strategy=landmark_strategy, seed=seed, kernel=kernel,
+                metrics=metrics,
             )
         else:
             self.landmark_index = landmarks
@@ -258,6 +280,7 @@ class KPJSolver:
         queries: Sequence,
         workers: int = 1,
         stats: SearchStats | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> list[QueryResult]:
         """Answer a list of queries, optionally across a process pool.
 
@@ -276,10 +299,16 @@ class KPJSolver:
         collect the batch's aggregate counters: the merge of every
         result's per-query stats (across all workers) plus the
         parent-side prepared-cache warm-up that precedes a fork.
+
+        Pass a :class:`~repro.obs.metrics.MetricsRegistry` as
+        ``metrics`` to likewise collect the batch's aggregate phase
+        timers/counters/gauges — per-query snapshots cross the fork
+        boundary on each result and are merged on return, with the
+        parent-side warm-up attributed to the ``warmup`` phase.
         """
         from repro.server.pool import run_batch
 
-        return run_batch(self, queries, workers=workers, stats=stats)
+        return run_batch(self, queries, workers=workers, stats=stats, metrics=metrics)
 
     def prepare(
         self,
@@ -297,8 +326,11 @@ class KPJSolver:
         the paper's "computed once for each query" step, hoisted
         across the workload.
         """
-        dest = self._resolve(category, destinations, "destination")
-        return self._prepared(self._canonical_destinations(dest), None)
+        with maybe_phase(self.metrics, "prepare"):
+            dest = self._resolve(category, destinations, "destination")
+            return self._prepared(
+                self._canonical_destinations(dest), None, self.metrics
+            )
 
     def cache_info(self) -> dict[str, int]:
         """Prepared-category cache occupancy, bound, and lifetime counters."""
@@ -341,14 +373,18 @@ class KPJSolver:
         return tuple(sorted(set(destinations)))
 
     def _prepared(
-        self, dest: tuple[int, ...], stats: SearchStats | None
+        self,
+        dest: tuple[int, ...],
+        stats: SearchStats | None,
+        metrics: MetricsRegistry | None = None,
     ) -> "PreparedCategory":
         """Fetch or build the prepared artefacts for ``dest`` (LRU).
 
         The cache key is the canonical destination tuple plus the
         landmark configuration — a different landmark set implies
         different bound vectors, so the two must never alias.  Hit and
-        miss counters are recorded on ``stats`` when given.
+        miss counters are recorded on ``stats`` when given; occupancy
+        gauges on ``metrics`` when given.
         """
         lm = self.landmark_index
         key = (dest, lm.landmarks if lm is not None else None)
@@ -359,6 +395,8 @@ class KPJSolver:
             self._cache_hits += 1
             if stats is not None:
                 stats.prepared_cache_hits += 1
+            if metrics is not None:
+                metrics.inc("prepared_cache_hits")
             return hit
         self._cache_misses += 1
         if stats is not None:
@@ -369,6 +407,12 @@ class KPJSolver:
             cache[key] = prepared
             while len(cache) > self.prepared_cache_size:
                 cache.popitem(last=False)
+        if metrics is not None:
+            metrics.inc("prepared_cache_misses")
+            metrics.set_gauge("prepared_cache_entries", len(cache))
+            # Dominant cost per entry: the Eq. (2) bound vector, one
+            # float per node (the overlay/CSR are lazy and shared).
+            metrics.set_gauge("prepared_cache_bytes", len(cache) * self.graph.n * 8)
         return prepared
 
     def _solve(
@@ -382,6 +426,7 @@ class KPJSolver:
         prepared: "PreparedCategory | None" = None,
         target_bounds: Callable[[int], float] | None = None,
     ) -> QueryResult:
+        t_start = perf_counter()
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
         try:
@@ -392,39 +437,68 @@ class KPJSolver:
                 f"unknown algorithm {algorithm!r}; choose one of: {known}"
             ) from None
         stats = SearchStats()
-        if prepared is None:
-            dest = self._canonical_destinations(
-                self._resolve(category, destinations, "destination")
-            )
-            prepared = self._prepared(dest, stats)
-        else:
-            self._cache_hits += 1
-            stats.prepared_cache_hits += 1
-        if len(set(sources)) == 1:
-            qg = prepared.query_graph_for(sources[0])
-        else:
-            qg = build_query_graph(self.graph, sources, prepared.destinations)
-        if target_bounds is None:
-            target_bounds = prepared.target_bounds
-        if self.landmark_index is not None:
-            # Lazy: columns of the landmark matrix are reduced on first
-            # use per node.  Algorithms that never consult the source
-            # bound (DA, BestFirst, plain IterBound) now skip the
-            # O(|L| n) vector build entirely; SPT_I touches a handful
-            # of columns; SPT_P converts to the eager vector itself.
-            source_bounds = self.landmark_index.lazy_source_bounds(qg.sources)
-        else:
-            source_bounds = ZERO_BOUNDS
+        # Fresh per-query registry: its snapshot rides back on the
+        # result (picklable across the pool's fork boundary) and is
+        # merged into the solver-lifetime registry afterwards.
+        qreg = MetricsRegistry() if self.metrics is not None else None
+        with maybe_phase(qreg, "prepare"):
+            if prepared is None:
+                dest = self._canonical_destinations(
+                    self._resolve(category, destinations, "destination")
+                )
+                prepared = self._prepared(dest, stats, qreg)
+            else:
+                self._cache_hits += 1
+                stats.prepared_cache_hits += 1
+                if qreg is not None:
+                    qreg.inc("prepared_cache_hits")
+            if len(set(sources)) == 1:
+                qg = prepared.query_graph_for(sources[0])
+            else:
+                qg = build_query_graph(self.graph, sources, prepared.destinations)
+            if target_bounds is None:
+                target_bounds = prepared.target_bounds
+            if self.landmark_index is not None:
+                # Lazy: columns of the landmark matrix are reduced on first
+                # use per node.  Algorithms that never consult the source
+                # bound (DA, BestFirst, plain IterBound) now skip the
+                # O(|L| n) vector build entirely; SPT_I touches a handful
+                # of columns; SPT_P converts to the eager vector itself.
+                source_bounds = self.landmark_index.lazy_source_bounds(qg.sources)
+            else:
+                source_bounds = ZERO_BOUNDS
         ctx = QueryContext(
             target_bounds=target_bounds,
             source_bounds=source_bounds,
             alpha=alpha,
             stats=stats,
+            metrics=qreg,
         )
+        t_search = perf_counter()
         with use_kernel(self.kernel):
             raw = run(qg, k, ctx)
+        search_s = perf_counter() - t_search
         paths = [Path(length=p.length, nodes=qg.strip(p.nodes)) for p in raw]
-        return QueryResult(paths=paths, algorithm=algorithm, stats=stats)
+        elapsed_ms = (perf_counter() - t_start) * 1000.0
+        snapshot = None
+        if qreg is not None:
+            # Residue of the search interval not attributed to a named
+            # phase (baseline algorithms, driver bookkeeping) — keeps
+            # the phase taxonomy tiling elapsed_ms.
+            qreg.observe_phase(
+                "search_other", max(0.0, search_s - qreg.phase_seconds(SEARCH_PHASES))
+            )
+            qreg.inc("queries")
+            qreg.observe("query_latency_ms", elapsed_ms)
+            snapshot = qreg.as_dict()
+            self.metrics.merge(qreg)
+        return QueryResult(
+            paths=paths,
+            algorithm=algorithm,
+            stats=stats,
+            elapsed_ms=elapsed_ms,
+            metrics=snapshot,
+        )
 
 
 class PreparedCategory:

@@ -58,19 +58,34 @@ class QueryResult:
     stats:
         Instrumentation counters (shortest-path computations, settled
         nodes, ...) — the quantities Lemma 4.1 reasons about.
+    elapsed_ms:
+        End-to-end wall clock of the query, measured once inside the
+        solver — every surface (CLI, bench harness, batch reports)
+        reads this one number instead of re-timing the call.
+    metrics:
+        Per-query :meth:`~repro.obs.metrics.MetricsRegistry.as_dict`
+        snapshot (phase timers, gauges) when the solver has metrics
+        enabled; ``None`` otherwise.  A plain dict so it crosses the
+        batch pool's fork boundary like the stats counters do.
     """
 
     paths: list[Path]
     algorithm: str
     stats: SearchStats = field(default_factory=SearchStats)
+    elapsed_ms: float = 0.0
+    metrics: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready representation including stats counters."""
-        return {
+        out = {
             "algorithm": self.algorithm,
+            "elapsed_ms": self.elapsed_ms,
             "paths": [p.to_dict() for p in self.paths],
             "stats": self.stats.as_dict(),
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
     @property
     def lengths(self) -> tuple[float, ...]:

@@ -188,6 +188,8 @@ def iter_bound_spti(
     alpha: float = 1.1,
     stats: SearchStats | None = None,
     flat_core: bool | None = None,
+    trace=None,
+    metrics=None,
 ) -> list[Path]:
     """Top-``k`` paths via the incremental-SPT iteratively bounding search.
 
@@ -209,6 +211,15 @@ def iter_bound_spti(
         the leaves — the pre-flat-core configuration, kept addressable
         so benchmarks can measure the engine against it.  ``True``
         forces the flat engine regardless of the ambient kernel.
+    trace:
+        Optional :class:`~repro.core.trace.SearchTrace`; both engines
+        record the identical ``output``/``test-hit``/``test-miss``/
+        ``retire`` event sequence (the flat-vs-dict trace-equivalence
+        test asserts it), so ``kpj explain`` narrates either kernel.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        phase attribution: ``comp_sp`` for the initial tree build,
+        then the driver's ``spt_grow``/``test_lb``/``division``.
 
     Returns paths in ``G_Q`` coordinates (source → … → virtual target).
     """
@@ -216,12 +227,17 @@ def iter_bound_spti(
         flat_core = active_kernel() == "flat"
     if flat_core:
         return flat_spti_search(
-            query_graph, k, target_bounds, source_bounds, alpha=alpha, stats=stats
+            query_graph, k, target_bounds, source_bounds, alpha=alpha, stats=stats,
+            trace=trace, metrics=metrics,
         )
     stats = stats if stats is not None else SearchStats()
     tree = IncrementalSPT(query_graph, target_bounds, stats=stats)
     stats.shortest_path_computations += 1
-    initial = tree.build_initial(query_graph.target)
+    if metrics is not None:
+        with metrics.phase_timer("comp_sp"):
+            initial = tree.build_initial(query_graph.target)
+    else:
+        initial = tree.build_initial(query_graph.target)
     if initial is None:
         return []
     first_path, first_length = initial
@@ -275,6 +291,8 @@ def iter_bound_spti(
         comp_lb=comp_lb,
         before_test=tree.grow,
         use_flat_engine=False,
+        trace=trace,
+        metrics=metrics,
     )
     stats.spt_nodes = len(tree)
     return [

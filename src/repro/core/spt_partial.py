@@ -71,6 +71,7 @@ def iter_bound_sptp(
     source_bounds: Callable[[int], float],
     alpha: float = 1.1,
     stats: SearchStats | None = None,
+    metrics=None,
 ) -> list[Path]:
     """Top-``k`` paths via the iteratively bounding search over ``SPT_P``.
 
@@ -82,6 +83,11 @@ def iter_bound_sptp(
     source_bounds:
         Landmark bound ``lb(s, v)`` — Alg. 6's backward-A* priority
         term.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the
+        Alg. 6 backward build (the query's one unconditional
+        shortest-path computation *and* its partial-tree growth) is
+        attributed to ``comp_sp``, the driver's phases follow.
 
     Returns paths in ``G_Q`` coordinates.
     """
@@ -91,13 +97,24 @@ def iter_bound_sptp(
     # seeding every destination at distance zero (the reverse adjacency
     # of t is exactly V_T with zero weights).
     stats.shortest_path_computations += 1
-    tree = build_partial_spt(
-        graph,
-        query_graph.source,
-        (query_graph.target,),
-        source_bounds,
-        stats=stats,
-    )
+    if metrics is not None:
+        with metrics.phase_timer("comp_sp"):
+            tree = build_partial_spt(
+                graph,
+                query_graph.source,
+                (query_graph.target,),
+                source_bounds,
+                stats=stats,
+            )
+        metrics.set_gauge("sptp_tree_nodes", len(tree))
+    else:
+        tree = build_partial_spt(
+            graph,
+            query_graph.source,
+            (query_graph.target,),
+            source_bounds,
+            stats=stats,
+        )
     stats.spt_nodes = len(tree)
     if tree.source_path is None:
         return []
@@ -112,4 +129,5 @@ def iter_bound_sptp(
         alpha=alpha,
         stats=stats,
         initial=(tree.source_path, first_length),
+        metrics=metrics,
     )

@@ -72,3 +72,12 @@ class SearchStats:
     def as_dict(self) -> dict[str, int]:
         """Plain-dict snapshot, for reporting."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def nonzero(self) -> dict[str, int]:
+        """Only the counters that recorded anything, field order kept.
+
+        Reporting surfaces (``kpj ... --stats``) print this instead of
+        the full snapshot so a dict-kernel query does not list
+        ``flat_kernel_calls 0`` and vice versa.
+        """
+        return {name: value for name, value in self.as_dict().items() if value}

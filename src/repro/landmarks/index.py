@@ -173,18 +173,29 @@ class LandmarkIndex:
         strategy: str = "farthest",
         seed: int = 0,
         kernel: str | None = None,
+        metrics=None,
     ) -> "LandmarkIndex":
         """Select landmarks and run one Dijkstra per landmark.
 
         ``num_landmarks=16`` is the paper's default (Fig. 6(a) shows it
         as the sweet spot on CAL).  ``kernel`` picks the SSSP substrate
         for the ``|L|`` offline runs — ``"flat"`` cuts the build cost
-        several-fold on the larger registry graphs.
+        several-fold on the larger registry graphs.  ``metrics``
+        (a :class:`~repro.obs.metrics.MetricsRegistry`) attributes the
+        offline cost to the ``landmark_build`` phase and records the
+        distance-matrix footprint as a gauge.
         """
+        if metrics is not None:
+            from time import perf_counter
+
+            start = perf_counter()
         landmarks = select_landmarks(graph, num_landmarks, strategy, seed)
         dist = np.empty((len(landmarks), graph.n), dtype=np.float64)
         for i, w in enumerate(landmarks):
             dist[i, :] = single_source_distances(graph, w, kernel=kernel)
+        if metrics is not None:
+            metrics.observe_phase("landmark_build", perf_counter() - start)
+            metrics.set_gauge("landmark_matrix_bytes", dist.nbytes)
         return cls(graph, landmarks, dist)
 
     @property

@@ -1,0 +1,26 @@
+"""repro.obs — query-lifecycle observability.
+
+A lightweight, dependency-free metrics layer: phase timers, counters,
+gauges, fixed-bucket histograms, Prometheus text exposition, and the
+strict parser the CI smoke job runs against it.  Disabled-path
+overhead is one ``None`` check per site — see
+:mod:`repro.obs.metrics` and DESIGN.md §"Observability".
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    SEARCH_PHASES,
+    Histogram,
+    MetricsRegistry,
+    maybe_phase,
+    parse_prom,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Histogram",
+    "maybe_phase",
+    "parse_prom",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "SEARCH_PHASES",
+]

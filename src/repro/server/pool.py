@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Mapping, Sequence
 
 from repro.exceptions import QueryError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["BatchQuery", "run_batch"]
 
@@ -109,7 +111,36 @@ def _warm_cache(solver, queries: Sequence[BatchQuery]) -> None:
             continue
 
 
-def run_batch(solver, queries: Sequence, workers: int = 1, stats=None) -> list:
+def _warm_with_metrics(solver, batch: Sequence[BatchQuery], metrics) -> None:
+    """Run the pre-fork warm-up, attributing its time to ``warmup``.
+
+    The solver's registry is swapped for a scratch one for the
+    duration, so the warm-up's cache counters and gauges are captured
+    but its wall time lands under ``warmup`` — never under any
+    query's ``prepare`` — keeping sequential and pooled batch totals
+    comparable after the warm-up phase is set aside.
+    """
+    warm_reg = MetricsRegistry()
+    saved = solver.metrics
+    solver.metrics = warm_reg
+    start = perf_counter()
+    try:
+        _warm_cache(solver, batch)
+    finally:
+        solver.metrics = saved
+    warm_reg.observe_phase("warmup", perf_counter() - start)
+    # prepare() already timed itself inside the warm-up interval;
+    # dropping it avoids double-counted wall time.
+    warm_reg.phases.pop("prepare", None)
+    if saved is not None:
+        saved.merge(warm_reg)
+    if metrics is not None and metrics is not saved:
+        metrics.merge(warm_reg)
+
+
+def run_batch(
+    solver, queries: Sequence, workers: int = 1, stats=None, metrics=None
+) -> list:
     """Answer ``queries`` with ``solver``, sharded over ``workers``.
 
     Returns one :class:`~repro.core.result.QueryResult` per query, in
@@ -124,37 +155,62 @@ def run_batch(solver, queries: Sequence, workers: int = 1, stats=None) -> list:
     counters ride back with each ``QueryResult``), plus the parent's
     prepared-cache activity from the pre-fork warm-up, which belongs
     to no individual query and would otherwise be invisible.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is passed as
+    ``metrics`` the same aggregation applies to phase timers,
+    counters, gauges, and histograms: each result carries its
+    per-query snapshot (a plain dict, so it crosses the fork boundary
+    like the stats do) and all snapshots are merged here, plus the
+    warm-up under the dedicated ``warmup`` phase.  If the solver has
+    no registry of its own, one is installed for the duration of the
+    batch so the snapshots exist, and removed afterwards.
     """
     global _WORKER_SOLVER
     batch = [_coerce(q) for q in queries]
     if not batch:
         return []
     workers = min(int(workers), len(batch))
-    results: list | None = None
-    if workers > 1:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            ctx = None
-        if ctx is not None:
-            before = solver.cache_info()
-            _warm_cache(solver, batch)
-            after = solver.cache_info()
-            if stats is not None:
-                stats.prepared_cache_hits += after["hits"] - before["hits"]
-                stats.prepared_cache_misses += after["misses"] - before["misses"]
-            _WORKER_SOLVER = solver
+    own_metrics = metrics is not None and solver.metrics is None
+    if own_metrics:
+        # Must be installed before the fork so workers inherit it and
+        # produce per-query snapshots.
+        solver.metrics = MetricsRegistry()
+    try:
+        results: list | None = None
+        if workers > 1:
             try:
-                with ctx.Pool(processes=workers) as pool:
-                    chunk = max(1, len(batch) // (4 * workers))
-                    results = list(
-                        pool.imap(_worker_execute, batch, chunksize=chunk)
-                    )
-            finally:
-                _WORKER_SOLVER = None
-    if results is None:
-        results = [_execute(solver, q) for q in batch]
-    if stats is not None:
-        for result in results:
-            stats.merge(result.stats)
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                ctx = None
+            if ctx is not None:
+                before = solver.cache_info()
+                if solver.metrics is not None or metrics is not None:
+                    _warm_with_metrics(solver, batch, metrics)
+                else:
+                    _warm_cache(solver, batch)
+                after = solver.cache_info()
+                if stats is not None:
+                    stats.prepared_cache_hits += after["hits"] - before["hits"]
+                    stats.prepared_cache_misses += after["misses"] - before["misses"]
+                _WORKER_SOLVER = solver
+                try:
+                    with ctx.Pool(processes=workers) as pool:
+                        chunk = max(1, len(batch) // (4 * workers))
+                        results = list(
+                            pool.imap(_worker_execute, batch, chunksize=chunk)
+                        )
+                finally:
+                    _WORKER_SOLVER = None
+        if results is None:
+            results = [_execute(solver, q) for q in batch]
+        if stats is not None:
+            for result in results:
+                stats.merge(result.stats)
+        if metrics is not None:
+            for result in results:
+                if result.metrics is not None:
+                    metrics.merge(result.metrics)
+    finally:
+        if own_metrics:
+            solver.metrics = None
     return results

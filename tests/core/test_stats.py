@@ -45,3 +45,10 @@ class TestSearchStats:
         stats = SearchStats()
         stats.nodes_settled += 5
         assert stats.as_dict()["nodes_settled"] == 5
+
+    def test_nonzero_filters_zero_counters(self):
+        stats = SearchStats(nodes_settled=3, lb_tests=1)
+        assert stats.nonzero() == {"nodes_settled": 3, "lb_tests": 1}
+
+    def test_nonzero_empty_when_fresh(self):
+        assert SearchStats().nonzero() == {}

@@ -87,6 +87,50 @@ class TestSearchTrace:
         assert len(trace) == len(trace.events) > 0
 
 
+class TestTraceEquivalence:
+    """The flat and dict engines must narrate the same search."""
+
+    def test_flat_and_dict_engines_record_identical_events(
+        self, paper_graph, paper_built
+    ):
+        from repro.core.spt_incremental import iter_bound_spti
+
+        v = paper_built.node_id
+        qg = build_query_graph(
+            paper_graph, (v("v1"),), (v("v4"), v("v6"), v("v7"))
+        )
+        t_dict, t_flat = SearchTrace(), SearchTrace()
+        p_dict = iter_bound_spti(
+            qg, 3, ZERO_BOUNDS, ZERO_BOUNDS, flat_core=False, trace=t_dict
+        )
+        p_flat = iter_bound_spti(
+            qg, 3, ZERO_BOUNDS, ZERO_BOUNDS, flat_core=True, trace=t_flat
+        )
+        assert [p.length for p in p_dict] == [p.length for p in p_flat]
+        assert t_dict.events == t_flat.events
+
+    def test_equivalence_on_registry_dataset(self):
+        from repro.core.spt_incremental import iter_bound_spti
+        from repro.datasets.registry import road_network
+        from repro.landmarks.index import LandmarkIndex
+
+        dataset = road_network("SJ")
+        lm = LandmarkIndex.build(dataset.graph, 4)
+        destinations = dataset.categories.nodes_of("T2")
+        qg = build_query_graph(dataset.graph, (100,), destinations)
+        bounds = lm.to_target_bounds(qg.destinations)
+        source_bounds = lm.lazy_source_bounds(qg.sources)
+        t_dict, t_flat = SearchTrace(), SearchTrace()
+        p_dict = iter_bound_spti(
+            qg, 5, bounds, source_bounds, flat_core=False, trace=t_dict
+        )
+        p_flat = iter_bound_spti(
+            qg, 5, bounds, source_bounds, flat_core=True, trace=t_flat
+        )
+        assert [p.nodes for p in p_dict] == [p.nodes for p in p_flat]
+        assert t_dict.events == t_flat.events
+
+
 class TestExplainCLI:
     def test_explain_prints_narrative(self, capsys):
         from repro.cli import main
@@ -110,7 +154,36 @@ class TestExplainCLI:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "IterBound on SJ" in out
+        assert "iter-bound (dict kernel) on SJ" in out
+        assert "totals:" in out
+        assert "found 2 paths" in out
+
+    @pytest.mark.parametrize("kernel", ["dict", "flat"])
+    def test_explain_spti_narrates_either_kernel(self, capsys, kernel):
+        from repro.cli import main
+
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "SJ",
+                "--source",
+                "100",
+                "--category",
+                "T2",
+                "--k",
+                "2",
+                "--landmarks",
+                "4",
+                "--kernel",
+                kernel,
+                "--algorithm",
+                "iter-bound-spti",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"iter-bound-spti ({kernel} kernel) on SJ" in out
         assert "totals:" in out
         assert "found 2 paths" in out
 

@@ -1,0 +1,274 @@
+"""Unit tests for the query-lifecycle metrics registry."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    SEARCH_PHASES,
+    maybe_phase,
+    parse_prom,
+)
+
+
+class TestHistogram:
+    def test_observe_and_count(self):
+        hist = Histogram((1.0, 10.0))
+        for value in (0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.total == 4
+        assert hist.sum == pytest.approx(56.0)
+        assert hist.counts == [2, 1, 1]  # <=1, <=10, overflow
+
+    def test_boundary_lands_in_its_bucket(self):
+        hist = Histogram((1.0, 10.0))
+        hist.observe(1.0)
+        assert hist.counts[0] == 1  # le semantics: 1.0 <= 1.0
+
+    def test_quantile_interpolates(self):
+        hist = Histogram((10.0,))
+        for _ in range(10):
+            hist.observe(5.0)
+        # All mass in [0, 10]: the median interpolates to mid-bucket.
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_quantile_overflow_reports_top_bound(self):
+        hist = Histogram((1.0,))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 1.0
+
+    def test_quantile_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.0)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram((5.0, 1.0))
+
+    def test_merge_adds_bucketwise(self):
+        a, b = Histogram((1.0,)), Histogram((1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.total == 2
+        assert a.counts == [1, 1]
+        assert a.sum == pytest.approx(2.5)
+
+    def test_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError, match="different buckets"):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_dict_round_trip(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(1.5)
+        clone = Histogram.from_dict(hist.as_dict())
+        assert clone.as_dict() == hist.as_dict()
+
+
+class TestMetricsRegistry:
+    def test_counters_add(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counters == {"a": 5}
+
+    def test_gauges_keep_max(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("peak", 3)
+        reg.set_gauge("peak", 1)
+        reg.set_gauge("peak", 7)
+        assert reg.gauges == {"peak": 7}
+
+    def test_observe_phase_accumulates(self):
+        reg = MetricsRegistry()
+        reg.observe_phase("p", 0.5)
+        reg.observe_phase("p", 0.25, calls=3)
+        assert reg.phases["p"] == [0.75, 4]
+
+    def test_phase_timer_records_positive_time(self):
+        reg = MetricsRegistry()
+        with reg.phase_timer("p"):
+            sum(range(1000))
+        seconds, calls = reg.phases["p"]
+        assert seconds > 0
+        assert calls == 1
+
+    def test_phase_timer_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.phase_timer("p"):
+                raise RuntimeError("boom")
+        assert reg.phases["p"][1] == 1
+
+    def test_phase_seconds_subsets(self):
+        reg = MetricsRegistry()
+        reg.observe_phase("a", 1.0)
+        reg.observe_phase("b", 2.0)
+        assert reg.phase_seconds() == pytest.approx(3.0)
+        assert reg.phase_seconds(["a"]) == pytest.approx(1.0)
+        assert reg.phase_seconds(["missing"]) == 0.0
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 1)
+        b.inc("c", 2)
+        a.set_gauge("g", 5)
+        b.set_gauge("g", 3)
+        a.observe_phase("p", 1.0)
+        b.observe_phase("p", 0.5, calls=2)
+        b.observe("h", 4.0)
+        a.merge(b)
+        assert a.counters["c"] == 3
+        assert a.gauges["g"] == 5  # max, not sum
+        assert a.phases["p"] == [1.5, 3]
+        assert a.histograms["h"].total == 1
+
+    def test_merge_accepts_snapshot_mapping(self):
+        src = MetricsRegistry()
+        src.inc("c", 2)
+        src.observe("h", 1.0)
+        dst = MetricsRegistry()
+        dst.merge(src.as_dict())
+        assert dst.counters["c"] == 2
+        assert dst.histograms["h"].total == 1
+
+    def test_snapshot_is_picklable(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.observe("h", 1.0)
+        snapshot = reg.as_dict()
+        clone = MetricsRegistry.from_dict(pickle.loads(pickle.dumps(snapshot)))
+        assert clone.as_dict() == snapshot
+
+    def test_merge_stats_folds_nonzero_counters(self):
+        from repro.core.stats import SearchStats
+
+        reg = MetricsRegistry()
+        reg.merge_stats(SearchStats(nodes_settled=7))
+        assert reg.counters == {"nodes_settled": 7}
+
+    def test_report_structure(self):
+        reg = MetricsRegistry()
+        reg.observe_phase("prepare", 0.002)
+        reg.inc("queries", 3)
+        reg.set_gauge("peak", 9)
+        for value in (1.0, 2.0, 3.0):
+            reg.observe("query_latency_ms", value)
+        report = reg.report()
+        assert report["phases"]["prepare"]["ms"] == pytest.approx(2.0)
+        assert report["counters"] == {"queries": 3}
+        assert report["gauges"] == {"peak": 9}
+        hist = report["histograms"]["query_latency_ms"]
+        assert hist["count"] == 3
+        assert hist["p50"] <= hist["p95"] <= hist["p99"]
+
+    def test_render_text_mentions_everything(self):
+        reg = MetricsRegistry()
+        reg.observe_phase("prepare", 0.001)
+        reg.inc("queries")
+        reg.set_gauge("peak", 2)
+        reg.observe("lat", 1.0)
+        text = reg.render_text()
+        for needle in ("prepare", "queries", "peak", "lat", "p95"):
+            assert needle in text
+
+    def test_render_text_empty(self):
+        assert "(empty)" in MetricsRegistry().render_text()
+
+
+class TestMaybePhase:
+    def test_none_is_noop_context(self):
+        with maybe_phase(None, "p"):
+            pass  # must not raise, must not allocate a registry
+
+    def test_registry_records(self):
+        reg = MetricsRegistry()
+        with maybe_phase(reg, "p"):
+            pass
+        assert "p" in reg.phases
+
+
+class TestPromExposition:
+    def make_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.observe_phase("prepare", 0.001)
+        reg.observe_phase("comp_sp", 0.002, calls=2)
+        reg.inc("queries", 5)
+        reg.set_gauge("spt_heap_peak", 17)
+        for value in (0.2, 3.0, 700.0):
+            reg.observe("query_latency_ms", value)
+        return reg
+
+    def test_round_trip(self):
+        reg = self.make_registry()
+        samples = parse_prom(reg.render_prom())
+        assert samples[
+            ("kpj_phase_seconds_total", (("phase", "prepare"),))
+        ] == pytest.approx(0.001)
+        assert samples[("kpj_phase_calls_total", (("phase", "comp_sp"),))] == 2
+        assert samples[("kpj_queries_total", ())] == 5
+        assert samples[("kpj_spt_heap_peak", ())] == 17
+        assert samples[("kpj_query_latency_ms_count", ())] == 3
+        assert samples[("kpj_query_latency_ms_bucket", (("le", "+Inf"),))] == 3
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = self.make_registry()
+        samples = parse_prom(reg.render_prom())
+        counts = [
+            samples[("kpj_query_latency_ms_bucket", (("le", f"{b:g}"),))]
+            for b in DEFAULT_LATENCY_BUCKETS_MS
+        ]
+        assert counts == sorted(counts)  # monotone non-decreasing
+        assert counts[-1] == 3
+
+    def test_prefix_override(self):
+        samples = parse_prom(self.make_registry().render_prom(prefix="x"))
+        assert ("x_queries_total", ()) in samples
+
+    def test_deterministic_output(self):
+        reg = self.make_registry()
+        assert reg.render_prom() == reg.render_prom()
+
+    def test_parser_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            parse_prom("kpj_x_total NaN\n")
+
+    def test_parser_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            parse_prom("kpj_x_total +Inf\n")
+
+    def test_parser_rejects_negative_by_default(self):
+        with pytest.raises(ValueError, match="negative"):
+            parse_prom("kpj_x_total -1\n")
+        assert parse_prom("kpj_x_total -1\n", require_non_negative=False) == {
+            ("kpj_x_total", ()): -1.0
+        }
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prom("not a metric line\n" * 2)
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_prom('kpj_x{phase="p" 1\n')
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prom("kpj_x_total twelve\n")
+
+    def test_parser_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prom("kpj_x_total 1\nkpj_x_total 2\n")
+
+    def test_parser_skips_comments_and_blanks(self):
+        assert parse_prom("# HELP something\n\n# TYPE x counter\n") == {}
+
+
+class TestSearchPhases:
+    def test_driver_phases_are_a_known_set(self):
+        assert set(SEARCH_PHASES) == {"comp_sp", "spt_grow", "test_lb", "division"}

@@ -11,6 +11,7 @@ from repro.core.kpj import KPJSolver
 from repro.core.stats import SearchStats
 from repro.datasets.registry import road_network
 from repro.exceptions import QueryError
+from repro.obs.metrics import SEARCH_PHASES, MetricsRegistry
 from repro.server.pool import BatchQuery, _coerce, run_batch
 
 
@@ -190,6 +191,78 @@ class TestStatsAggregation:
         assert _fingerprint(solver.solve_batch(queries)) == _fingerprint(
             solver.solve_batch(queries, stats=None)
         )
+
+
+class TestMetricsAggregation:
+    def test_sequential_aggregate_equals_sum_of_snapshots(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 6)
+        agg = MetricsRegistry()
+        results = solver.solve_batch(queries, metrics=agg)
+        assert solver.metrics is None  # temporary registry detached
+        expected = MetricsRegistry()
+        for r in results:
+            assert r.metrics is not None
+            expected.merge(r.metrics)
+        # No fork, no warm-up: the aggregate IS the sum of snapshots.
+        assert agg.as_dict() == expected.as_dict()
+        assert agg.counters["queries"] == len(queries)
+        assert agg.histograms["query_latency_ms"].total == len(queries)
+
+    def test_parallel_aggregate_is_snapshots_plus_warmup(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 12)
+        agg = MetricsRegistry()
+        results = solver.solve_batch(queries, workers=3, metrics=agg)
+        expected = MetricsRegistry()
+        for r in results:
+            assert r.metrics is not None
+            expected.merge(r.metrics)
+        assert "warmup" in agg.phases
+        assert "warmup" not in expected.phases  # belongs to no query
+        # Everything per-query matches the merged snapshots exactly;
+        # only the warm-up's own phase/counters ride on top.
+        assert agg.counters["queries"] == expected.counters["queries"] == len(
+            queries
+        )
+        for name in SEARCH_PHASES:
+            if name in expected.phases:
+                assert agg.phases[name] == expected.phases[name], name
+        assert agg.histograms["query_latency_ms"].total == len(queries)
+
+    def test_parallel_and_sequential_deterministic_totals_match(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 12)
+        seq, par = MetricsRegistry(), MetricsRegistry()
+        solver.solve_batch(queries, workers=1, metrics=seq)
+        solver.solve_batch(queries, workers=3, metrics=par)
+        # Wall times differ run to run, but the *call counts* of every
+        # search phase are a property of the algorithm, not the
+        # schedule (the module solver's cache is warm for both runs).
+        assert seq.counters["queries"] == par.counters["queries"]
+        for name in SEARCH_PHASES:
+            seq_calls = seq.phases.get(name, [0, 0])[1]
+            par_calls = par.phases.get(name, [0, 0])[1]
+            assert seq_calls == par_calls, name
+
+    def test_solver_registry_kept_when_preattached(self, sj_solver):
+        dataset, _ = sj_solver
+        own = MetricsRegistry()
+        solver = KPJSolver(
+            dataset.graph, dataset.categories, landmarks=None, metrics=own
+        )
+        queries = [BatchQuery(source=s, category="T2", k=3) for s in (1, 5)]
+        agg = MetricsRegistry()
+        solver.solve_batch(queries, metrics=agg)
+        assert solver.metrics is own  # not detached
+        assert own.counters["queries"] == 2  # sequential merges land on it
+        assert agg.counters["queries"] == 2
+
+    def test_metrics_none_leaves_results_bare(self, sj_solver):
+        dataset, solver = sj_solver
+        results = solver.solve_batch(_query_mix(dataset, 2))
+        assert all(r.metrics is None for r in results)
+        assert all(r.elapsed_ms > 0 for r in results)
 
 
 @pytest.mark.slow

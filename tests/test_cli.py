@@ -251,3 +251,143 @@ class TestBatchCommand:
             build_parser().parse_args(
                 ["batch", "--dataset", "SJ", "--category", "T2"]
             )
+
+class TestMetricsFlags:
+    def test_query_metrics_text(self, capsys):
+        code = main(
+            [
+                "query", "--dataset", "SJ", "--source", "10",
+                "--category", "T2", "--k", "2", "--landmarks", "4",
+                "--metrics", "text",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "landmark_build" in out
+        assert "comp_sp" in out
+        assert "elapsed" in out
+
+    def test_query_metrics_json_is_one_document(self, capsys):
+        import json
+
+        code = main(
+            [
+                "query", "--dataset", "SJ", "--source", "10",
+                "--category", "T2", "--k", "2", "--landmarks", "4",
+                "--metrics", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["result"]["paths"]) == 2
+        assert payload["result"]["elapsed_ms"] > 0
+        assert "prepare" in payload["metrics"]["phases"]
+        assert payload["metrics"]["counters"]["queries"] == 1
+
+    def test_batch_metrics_json_has_latency_percentiles(self, capsys):
+        import json
+
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--sources", "1,5,9,13", "--k", "3", "--landmarks", "4",
+                "--metrics", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 4
+        lat = payload["latency_ms"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"]
+        assert payload["metrics"]["counters"]["queries"] == 4
+        assert "landmark_build" in payload["metrics"]["phases"]
+
+    def test_batch_metrics_text_with_workers(self, capsys):
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--sources", "1,5,9,13", "--k", "3", "--landmarks", "4",
+                "--workers", "2", "--metrics", "text",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries/s" in out
+        assert "warmup" in out  # the pre-fork phase shows up
+        assert "query_latency_ms" in out
+
+    def test_stats_output_skips_zero_counters(self, capsys):
+        code = main(
+            [
+                "query", "--dataset", "SJ", "--source", "10",
+                "--category", "T2", "--k", "2", "--landmarks", "4",
+                "--kernel", "flat", "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flat_kernel_calls" in out
+        assert "dict_kernel_calls" not in out  # zero under the flat kernel
+
+
+class TestMetricsCommand:
+    def workload(self, tmp_path, **overrides):
+        import json
+
+        spec = {
+            "dataset": "SJ",
+            "landmarks": 4,
+            "queries": [
+                {"source": 1, "category": "T2", "k": 3},
+                {"source": 5, "category": "T2", "k": 3},
+                {"source": 9, "category": "T1", "k": 2},
+            ],
+        }
+        spec.update(overrides)
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_exposition_parses_cleanly(self, capsys, tmp_path):
+        from repro.obs.metrics import parse_prom
+
+        code = main(["metrics", "--workload", self.workload(tmp_path)])
+        assert code == 0
+        samples = parse_prom(capsys.readouterr().out)
+        assert samples[("kpj_queries_total", ())] == 3
+        assert ("kpj_phase_seconds_total", (("phase", "comp_sp"),)) in samples
+        assert ("kpj_phase_seconds_total", (("phase", "landmark_build"),)) in samples
+        # SearchStats counters folded into the same document.
+        assert samples[("kpj_nodes_settled_total", ())] > 0
+
+    def test_exposition_with_workers_includes_warmup(self, capsys, tmp_path):
+        from repro.obs.metrics import parse_prom
+
+        path = self.workload(tmp_path, workers=2, kernel="flat")
+        assert main(["metrics", "--workload", path]) == 0
+        samples = parse_prom(capsys.readouterr().out)
+        assert ("kpj_phase_seconds_total", (("phase", "warmup"),)) in samples
+        assert samples[("kpj_queries_total", ())] == 3
+
+    def test_prefix_flag(self, capsys, tmp_path):
+        from repro.obs.metrics import parse_prom
+
+        path = self.workload(tmp_path)
+        assert main(["metrics", "--workload", path, "--prefix", "repro"]) == 0
+        samples = parse_prom(capsys.readouterr().out)
+        assert ("repro_queries_total", ()) in samples
+
+    def test_missing_workload_file(self, capsys):
+        assert main(["metrics", "--workload", "/no/such/file.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_dataset_rejected(self, capsys, tmp_path):
+        path = self.workload(tmp_path, dataset="NOPE")
+        assert main(["metrics", "--workload", path]) == 2
+        assert "dataset" in capsys.readouterr().err
+
+    def test_empty_queries_rejected(self, capsys, tmp_path):
+        path = self.workload(tmp_path, queries=[])
+        assert main(["metrics", "--workload", path]) == 2
+        assert "no queries" in capsys.readouterr().err
