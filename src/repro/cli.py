@@ -6,7 +6,8 @@ Subcommands::
     kpj batch    --dataset CAL --category Lake --sources 1,2,3 --workers 4
     kpj datasets
     kpj bench    --figure fig7 [--queries 3]
-    kpj metrics  --workload workload.json
+    kpj metrics  --workload workload.json [--trace-out traces/]
+    kpj trace    --dataset CAL --source 12 --category Lake --out t.json
 
 ``query`` answers one KPJ query on a named dataset and prints the
 paths; ``batch`` answers a whole workload (optionally across a worker
@@ -21,6 +22,16 @@ answers, and ``--metrics json|text`` attaches a
 :class:`~repro.obs.metrics.MetricsRegistry` and emits the structured
 run report (phase wall times, counters, gauges, and — for batches —
 p50/p95/p99 query latency).
+
+Tracing surfaces (see DESIGN.md §3d): ``trace`` answers one query
+with a :class:`~repro.obs.tracing.SpanTracer` attached and writes the
+span timeline as Chrome trace-event JSON (load in ``chrome://tracing``
+or Perfetto); ``query --trace`` prints the span tree and the
+per-depth :class:`~repro.obs.subspace_report.SubspaceTreeReport`
+inline; ``metrics --workload W --trace-out DIR`` additionally writes
+one Chrome trace file per query of the workload; ``explain --tree``
+prints the same subspace-tree reconstruction from the ``SearchTrace``
+narration.
 """
 
 from __future__ import annotations
@@ -82,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("json", "text"),
         default=None,
         help="emit the structured metrics report (phase timers etc.)",
+    )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans and print the span tree + subspace report",
     )
 
     batch = sub.add_parser(
@@ -157,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("iter-bound", "iter-bound-spti"),
         help="which iteratively bounding variant to narrate",
     )
+    explain.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the per-depth subspace-tree report",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="replay a workload file and print Prometheus exposition"
@@ -168,6 +189,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument(
         "--prefix", default="kpj", help="metric name prefix (default: kpj)"
+    )
+    metrics.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="also write one Chrome trace-event file per query into DIR",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="trace one query and write Chrome trace-event JSON"
+    )
+    trace.add_argument("--dataset", required=True, choices=available_datasets())
+    trace.add_argument("--source", type=int, required=True)
+    trace.add_argument("--category", required=True)
+    trace.add_argument("--k", type=int, default=10)
+    trace.add_argument(
+        "--algorithm", default=DEFAULT_ALGORITHM, choices=sorted(ALGORITHMS)
+    )
+    trace.add_argument("--landmarks", type=int, default=16)
+    trace.add_argument(
+        "--kernel", default="dict", choices=KERNELS, help="search substrate"
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace-event output file (default: trace.json)",
+    )
+    trace.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the span tree and subspace report",
     )
     return parser
 
@@ -184,6 +236,18 @@ def _print_stats(stats) -> None:
         print(f"  {name:<{width}}  {value}")
 
 
+def _print_trace_report(trace: dict) -> None:
+    """The span tree and subspace report shared by query/trace."""
+    from repro.obs.subspace_report import SubspaceTreeReport
+    from repro.obs.tracing import render_tree
+
+    print("spans:")
+    print(render_tree(trace))
+    report = SubspaceTreeReport.from_spans(trace)
+    if report.rows:
+        print(report.render())
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = road_network(args.dataset)
     if args.source < 0 or args.source >= dataset.n:
@@ -194,12 +258,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.obs.metrics import MetricsRegistry
 
         reg = MetricsRegistry()
+    tracer = None
+    if args.trace:
+        from repro.obs.tracing import SpanTracer
+
+        tracer = SpanTracer()
     solver = KPJSolver(
         dataset.graph,
         dataset.categories,
         landmarks=args.landmarks,
         kernel=args.kernel,
         metrics=reg,
+        tracer=tracer,
     )
     result = solver.top_k(
         args.source, category=args.category, k=args.k, algorithm=args.algorithm
@@ -233,6 +303,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
         _print_stats(result.stats)
     if args.metrics == "text":
         print(reg.render_text())
+    if args.trace and result.trace is not None:
+        _print_trace_report(result.trace)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.tracing import SpanTracer, chrome_trace
+
+    dataset = road_network(args.dataset)
+    if args.source < 0 or args.source >= dataset.n:
+        print(f"source must be in [0, {dataset.n})", file=sys.stderr)
+        return 2
+    tracer = SpanTracer()
+    solver = KPJSolver(
+        dataset.graph,
+        dataset.categories,
+        landmarks=args.landmarks,
+        kernel=args.kernel,
+        tracer=tracer,
+    )
+    result = solver.top_k(
+        args.source, category=args.category, k=args.k, algorithm=args.algorithm
+    )
+    doc = chrome_trace(result.trace)
+    try:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh)
+    except OSError as exc:
+        print(f"cannot write {args.out!r}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{result.k_found} paths in {result.elapsed_ms:.1f}ms "
+        f"({args.algorithm}, {args.kernel} kernel); "
+        f"{len(doc['traceEvents'])} spans -> {args.out}"
+    )
+    if args.tree:
+        _print_trace_report(result.trace)
     return 0
 
 
@@ -460,6 +569,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         f"{args.category!r} (|V_T|={len(destinations)}), k={args.k}\n"
     )
     print(trace.render(limit=args.limit))
+    if args.tree:
+        from repro.obs.subspace_report import SubspaceTreeReport
+
+        print()
+        print(SubspaceTreeReport.from_search_trace(trace).render())
     print(f"\nfound {len(paths)} paths; lengths: "
           + ", ".join(f"{p.length:.4g}" for p in paths))
     return 0
@@ -488,6 +602,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         return 2
     dataset = road_network(name)
     reg = MetricsRegistry()
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs.tracing import SpanTracer
+
+        tracer = SpanTracer()
     solver = KPJSolver(
         dataset.graph,
         dataset.categories,
@@ -499,10 +618,35 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     # aggregate through ``metrics=`` (avoids double-counting).
     solver.metrics = None
     stats = SearchStats()
-    solver.solve_batch(
-        queries, workers=int(spec.get("workers", 1)), stats=stats, metrics=reg
+    results = solver.solve_batch(
+        queries,
+        workers=int(spec.get("workers", 1)),
+        stats=stats,
+        metrics=reg,
+        tracer=tracer,
     )
     reg.merge_stats(stats)
+    if args.trace_out is not None:
+        import os
+
+        from repro.obs.tracing import chrome_trace
+
+        try:
+            os.makedirs(args.trace_out, exist_ok=True)
+            written = 0
+            for i, result in enumerate(results):
+                if result.trace is None:
+                    continue
+                path = os.path.join(args.trace_out, f"query-{i:03d}.trace.json")
+                with open(path, "w") as fh:
+                    json.dump(chrome_trace(result.trace), fh)
+                written += 1
+        except OSError as exc:
+            print(f"cannot write traces to {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"# wrote {written} trace files to {args.trace_out}",
+              file=sys.stderr)
     sys.stdout.write(reg.render_prom(prefix=args.prefix))
     return 0
 
@@ -524,6 +668,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_explain(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -529,6 +529,7 @@ def flat_spti_search(
     stats: SearchStats | None = None,
     trace=None,
     metrics=None,
+    tracer=None,
 ) -> list[Path]:
     """``IterBound-SPT_I`` (Algs. 4, 7, 8) entirely on the flat engine.
 
@@ -540,7 +541,10 @@ def flat_spti_search(
     dict engine (``kpj explain --kernel flat``); ``metrics`` receives
     the ``comp_sp`` phase plus the tree's size gauges, with the
     driver's ``spt_grow``/``test_lb``/``division`` phases attributed
-    by :func:`~repro.core.iter_bound.iter_bound_search`.
+    by :func:`~repro.core.iter_bound.iter_bound_search`; ``tracer``
+    likewise records the identical span taxonomy as the dict engine
+    (``bound_kind="spt_i"``), so traced flat and dict queries produce
+    the same :class:`~repro.obs.subspace_report.SubspaceTreeReport`.
     """
     from repro.core.iter_bound import iter_bound_search
 
@@ -555,9 +559,16 @@ def flat_spti_search(
     ctx = FlatQueryContext(csr=rcsr, h=tree.h, metrics=metrics)
     try:
         stats.shortest_path_computations += 1
-        if metrics is not None:
-            with metrics.phase_timer("comp_sp"):
-                initial = tree.build_initial(query_graph.target)
+        if metrics is not None or tracer is not None:
+            from time import perf_counter
+
+            t0 = perf_counter()
+            initial = tree.build_initial(query_graph.target)
+            t1 = perf_counter()
+            if metrics is not None:
+                metrics.observe_phase("comp_sp", t1 - t0)
+            if tracer is not None:
+                tracer.add("comp_sp", t0, t1, cat="phase")
         else:
             initial = tree.build_initial(query_graph.target)
         if initial is None:
@@ -606,6 +617,8 @@ def flat_spti_search(
             initial_dists=init_dists,
             trace=trace,
             metrics=metrics,
+            tracer=tracer,
+            bound_kind="spt_i",
         )
         stats.spt_nodes = len(tree)
         return [

@@ -58,6 +58,8 @@ def iter_bound_search(
     comp_lb_children: Callable | None = None,
     initial_dists: list[float] | None = None,
     metrics=None,
+    tracer=None,
+    bound_kind: str | None = None,
 ) -> list[Path]:
     """Generic Alg. 4 driver; returns paths in ``graph`` coordinates.
 
@@ -117,6 +119,21 @@ def iter_bound_search(
         inside ``before_test``), ``test_lb``, ``division`` — plus the
         subspace-queue peak gauge.  Times accumulate in locals and
         flush once; disabled cost is one ``None`` check per site.
+    tracer:
+        Optional :class:`~repro.obs.tracing.SpanTracer`.  The driver
+        opens one ``iter_bound`` span over the whole loop (attributes:
+        ``bound_kind``, end-of-search queue ``leftover``, ``results``),
+        one ``iterate`` span per outer τ-iteration, and child
+        ``test_lb`` / ``division`` / ``spt_grow`` spans carrying the
+        prefix depth, lower bound, τ, and verdict — enough for
+        :class:`~repro.obs.subspace_report.SubspaceTreeReport` to
+        rebuild the explored subspace tree.  Shares the metrics
+        discipline: timestamps are taken once, disabled cost is one
+        ``None`` check per site.
+    bound_kind:
+        Which bound family backs ``heuristic``/``comp_lb``
+        (``"landmark"``, ``"global"``, ``"spt_p"``, ``"spt_i"``) —
+        recorded on the ``iter_bound`` span for pruning attribution.
     """
     if not alpha > 1.0:
         raise ValueError(f"alpha must be > 1, got {alpha}")
@@ -152,14 +169,27 @@ def iter_bound_search(
                 )
 
     timed = metrics is not None
+    traced = tracer is not None
+    clocked = timed or traced
+    search_span = (
+        tracer.begin("iter_bound", cat="search", bound_kind=bound_kind)
+        if traced
+        else None
+    )
     if initial is None:
         stats.shortest_path_computations += 1
-        if timed:
+        if clocked:
             t0 = perf_counter()
         initial = astar_path(graph, root, goal, heuristic, stats=stats)
-        if timed:
-            metrics.observe_phase("comp_sp", perf_counter() - t0)
+        if clocked:
+            t1 = perf_counter()
+            if timed:
+                metrics.observe_phase("comp_sp", t1 - t0)
+            if traced:
+                tracer.add("comp_sp", t0, t1, cat="phase")
     if initial is None:
+        if traced:
+            tracer.end(search_span, results=0, leftover=0)
         return []
     first_path, first_length = initial
 
@@ -198,12 +228,17 @@ def iter_bound_search(
             if timed and len(queue) > queue_peak:
                 queue_peak = len(queue)
             bound, _, subspace, found = heappop(queue)
+            if traced:
+                it_span = tracer.begin(
+                    "iterate", cat="search",
+                    depth=len(subspace.prefix) - 1, lb=bound,
+                )
             if found is not None:
                 path, dists = found
                 results.append(Path(length=bound, nodes=path))
                 if trace is not None:
                     trace.record("output", subspace.prefix, bound, length=bound)
-                if timed:
+                if clocked:
                     t0 = perf_counter()
                 if comp_lb_children is not None and dists is not None:
                     pairs = comp_lb_children(subspace, path, dists)
@@ -212,18 +247,32 @@ def iter_bound_search(
                         (child, comp_lb(child))
                         for child in divide(subspace, path, bound, edge_weight, dists)
                     ]
+                born_pruned = 0
                 for child, child_bound in pairs:
                     n_created += 1
                     n_lb_computations += 1
                     if child_bound == INF:
-                        n_pruned += 1
+                        born_pruned += 1
                         continue
                     if child_bound < bound:
                         child_bound = bound
                     heappush(queue, (child_bound, next(tie), child, None))
-                if timed:
-                    t_div += perf_counter() - t0
-                    n_div += 1
+                n_pruned += born_pruned
+                if clocked:
+                    t1 = perf_counter()
+                    if timed:
+                        t_div += t1 - t0
+                        n_div += 1
+                    if traced:
+                        tracer.add(
+                            "division", t0, t1, cat="phase",
+                            attrs={
+                                "depth": len(subspace.prefix) - 1,
+                                "children": len(pairs),
+                                "pruned": born_pruned,
+                            },
+                        )
+                        tracer.end(it_span, verdict="output", length=bound)
                 continue
             # Enlarge tau: alpha * max(lb(S), next pending bound) — Alg. 4
             # line 9, with the queue top defined as +inf when empty.
@@ -237,25 +286,42 @@ def iter_bound_search(
             if tau >= tau_limit:
                 tau = tau_limit
             if before_test is not None:
-                if timed:
+                if clocked:
                     t0 = perf_counter()
                     before_test(tau)
-                    t_grow += perf_counter() - t0
-                    n_grow += 1
+                    t1 = perf_counter()
+                    if timed:
+                        t_grow += t1 - t0
+                        n_grow += 1
+                    if traced:
+                        tracer.add(
+                            "spt_grow", t0, t1, cat="phase", attrs={"tau": tau}
+                        )
                 else:
                     before_test(tau)
             n_tests += 1
-            if timed:
+            if clocked:
                 t0 = perf_counter()
             hit = test_lb(subspace, tau, test_info)
-            if timed:
-                t_test += perf_counter() - t0
+            if clocked:
+                t1 = perf_counter()
+                if timed:
+                    t_test += t1 - t0
             if hit is not None:
                 tail, length = hit
                 if trace is not None:
                     trace.record(
                         "test-hit", subspace.prefix, bound, tau=tau, length=length
                     )
+                if traced:
+                    tracer.add(
+                        "test_lb", t0, t1, cat="phase",
+                        attrs={
+                            "depth": len(subspace.prefix) - 1,
+                            "lb": bound, "tau": tau, "verdict": "hit",
+                        },
+                    )
+                    tracer.end(it_span, verdict="test-hit")
                 heappush(
                     queue,
                     (
@@ -270,10 +336,28 @@ def iter_bound_search(
             if not test_info["pruned"] or tau >= tau_limit:
                 if trace is not None:
                     trace.record("retire", subspace.prefix, bound, tau=tau)
+                if traced:
+                    tracer.add(
+                        "test_lb", t0, t1, cat="phase",
+                        attrs={
+                            "depth": len(subspace.prefix) - 1,
+                            "lb": bound, "tau": tau, "verdict": "retire",
+                        },
+                    )
+                    tracer.end(it_span, verdict="retire")
                 n_pruned += 1  # provably empty — retire it
                 continue
             if trace is not None:
                 trace.record("test-miss", subspace.prefix, bound, tau=tau)
+            if traced:
+                tracer.add(
+                    "test_lb", t0, t1, cat="phase",
+                    attrs={
+                        "depth": len(subspace.prefix) - 1,
+                        "lb": bound, "tau": tau, "verdict": "miss",
+                    },
+                )
+                tracer.end(it_span, verdict="test-miss")
             heappush(queue, (tau, next(tie), subspace, None))
     finally:
         if own_ctx is not None:
@@ -291,7 +375,10 @@ def iter_bound_search(
             if n_grow:
                 metrics.observe_phase("spt_grow", t_grow, n_grow)
             metrics.set_gauge("iterbound_queue_peak", queue_peak)
-    stats.subspaces_pruned += sum(1 for entry in queue if entry[3] is None)
+    leftover = sum(1 for entry in queue if entry[3] is None)
+    stats.subspaces_pruned += leftover
+    if traced:
+        tracer.end(search_span, leftover=leftover, results=len(results))
     return results
 
 
@@ -303,12 +390,15 @@ def iter_bound(
     stats: SearchStats | None = None,
     trace=None,
     metrics=None,
+    tracer=None,
 ) -> list[Path]:
     """The plain (index-free) ``IterBound`` on a query transform.
 
     Forward orientation: root = source, goal = virtual target; the
     landmark bound doubles as ``TestLB``'s heuristic.
     """
+    from repro.landmarks.index import ZeroBounds
+
     return iter_bound_search(
         query_graph.graph,
         query_graph.source,
@@ -319,4 +409,6 @@ def iter_bound(
         stats=stats,
         trace=trace,
         metrics=metrics,
+        tracer=tracer,
+        bound_kind="global" if isinstance(heuristic, ZeroBounds) else "landmark",
     )

@@ -58,6 +58,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.virtual import QueryGraph, build_query_graph
 from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex, TargetBounds
 from repro.obs.metrics import SEARCH_PHASES, MetricsRegistry, maybe_phase
+from repro.obs.tracing import SpanTracer, maybe_span
 from repro.pathing.kernels import KERNELS, use_kernel
 
 __all__ = [
@@ -78,8 +79,9 @@ class QueryContext:
     ``target_bounds``/``source_bounds`` are the Eq. (2)-style landmark
     bound vectors (or the zero bound); ``alpha`` is the iteratively
     bounding growth factor; ``stats`` collects instrumentation;
-    ``metrics`` is the per-query registry (``None`` when observability
-    is off — implementations must guard on that, never allocate).
+    ``metrics`` is the per-query registry and ``tracer`` the per-query
+    span tracer (``None`` when observability is off — implementations
+    must guard on that, never allocate).
     """
 
     target_bounds: Callable[[int], float]
@@ -87,6 +89,7 @@ class QueryContext:
     alpha: float
     stats: SearchStats
     metrics: MetricsRegistry | None = None
+    tracer: SpanTracer | None = None
 
 
 def _run_da(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
@@ -104,7 +107,7 @@ def _run_best_first(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
 def _run_iter_bound(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
     return iter_bound(
         qg, k, ctx.target_bounds, alpha=ctx.alpha, stats=ctx.stats,
-        metrics=ctx.metrics,
+        metrics=ctx.metrics, tracer=ctx.tracer,
     )
 
 
@@ -118,21 +121,21 @@ def _run_iter_bound_sptp(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path
         source_bounds = eager()
     return iter_bound_sptp(
         qg, k, ctx.target_bounds, source_bounds, alpha=ctx.alpha, stats=ctx.stats,
-        metrics=ctx.metrics,
+        metrics=ctx.metrics, tracer=ctx.tracer,
     )
 
 
 def _run_iter_bound_spti(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
     return iter_bound_spti(
         qg, k, ctx.target_bounds, ctx.source_bounds, alpha=ctx.alpha, stats=ctx.stats,
-        metrics=ctx.metrics,
+        metrics=ctx.metrics, tracer=ctx.tracer,
     )
 
 
 def _run_iter_bound_spti_nl(qg: QueryGraph, k: int, ctx: QueryContext) -> list[Path]:
     return iter_bound_spti(
         qg, k, ZERO_BOUNDS, ZERO_BOUNDS, alpha=ctx.alpha, stats=ctx.stats,
-        metrics=ctx.metrics,
+        metrics=ctx.metrics, tracer=ctx.tracer,
     )
 
 
@@ -182,6 +185,15 @@ class KPJSolver:
         ``QueryResult.metrics``, then merges here).  When ``None``
         (default) the entire layer stays off — one ``is None`` check
         per site, no allocation.
+    tracer:
+        Optional :class:`~repro.obs.tracing.SpanTracer`.  When set,
+        sampled queries (the tracer's ``sample_every`` stride) record
+        a span tree — ``query`` → ``prepare``/``search`` →
+        ``iter_bound`` → per-iteration ``iterate`` with ``test_lb`` /
+        ``division`` / ``spt_grow`` leaves — into a fresh per-query
+        tracer whose snapshot rides back on ``QueryResult.trace`` and
+        is absorbed here.  Same discipline as ``metrics``: ``None``
+        keeps every hot site at a single ``is None`` check.
 
     Example
     -------
@@ -201,6 +213,7 @@ class KPJSolver:
         kernel: str = "dict",
         prepared_cache_size: int = 32,
         metrics: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
     ) -> None:
         if not graph.frozen:
             graph.freeze()
@@ -217,6 +230,7 @@ class KPJSolver:
         self.kernel = kernel
         self.prepared_cache_size = prepared_cache_size
         self.metrics = metrics
+        self.tracer = tracer
         self._prepared_cache: OrderedDict[tuple, PreparedCategory] = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
@@ -281,6 +295,7 @@ class KPJSolver:
         workers: int = 1,
         stats: SearchStats | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
     ) -> list[QueryResult]:
         """Answer a list of queries, optionally across a process pool.
 
@@ -305,10 +320,19 @@ class KPJSolver:
         timers/counters/gauges — per-query snapshots cross the fork
         boundary on each result and are merged on return, with the
         parent-side warm-up attributed to the ``warmup`` phase.
+
+        Pass a :class:`~repro.obs.tracing.SpanTracer` as ``tracer`` to
+        collect one batch-wide span tree: the whole call becomes a
+        ``batch`` span, and each sampled query's span snapshot (local
+        or shipped back from a worker process, keeping the worker's
+        pid) is re-rooted under it.
         """
         from repro.server.pool import run_batch
 
-        return run_batch(self, queries, workers=workers, stats=stats, metrics=metrics)
+        return run_batch(
+            self, queries, workers=workers, stats=stats, metrics=metrics,
+            tracer=tracer,
+        )
 
     def prepare(
         self,
@@ -441,7 +465,21 @@ class KPJSolver:
         # result (picklable across the pool's fork boundary) and is
         # merged into the solver-lifetime registry afterwards.
         qreg = MetricsRegistry() if self.metrics is not None else None
-        with maybe_phase(qreg, "prepare"):
+        # Same pattern for the tracer, plus the sampling decision —
+        # the per-query tracer always records (stride 1); the solver
+        # tracer decides *whether* this query is traced at all.
+        qtr = None
+        if self.tracer is not None and self.tracer.sample():
+            qtr = SpanTracer(capacity=self.tracer.capacity)
+        root_span = (
+            qtr.begin("query", cat="query", algorithm=algorithm,
+                      kernel=self.kernel, k=k)
+            if qtr is not None
+            else None
+        )
+        with maybe_phase(qreg, "prepare"), \
+                maybe_span(qtr, "prepare", cat="phase") as prep_span:
+            cache_hits_before = stats.prepared_cache_hits
             if prepared is None:
                 dest = self._canonical_destinations(
                     self._resolve(category, destinations, "destination")
@@ -467,15 +505,20 @@ class KPJSolver:
                 source_bounds = self.landmark_index.lazy_source_bounds(qg.sources)
             else:
                 source_bounds = ZERO_BOUNDS
+            if prep_span is not None:
+                prep_span["attrs"]["cache"] = (
+                    "hit" if stats.prepared_cache_hits > cache_hits_before else "miss"
+                )
         ctx = QueryContext(
             target_bounds=target_bounds,
             source_bounds=source_bounds,
             alpha=alpha,
             stats=stats,
             metrics=qreg,
+            tracer=qtr,
         )
         t_search = perf_counter()
-        with use_kernel(self.kernel):
+        with use_kernel(self.kernel), maybe_span(qtr, "search", cat="search"):
             raw = run(qg, k, ctx)
         search_s = perf_counter() - t_search
         paths = [Path(length=p.length, nodes=qg.strip(p.nodes)) for p in raw]
@@ -492,12 +535,18 @@ class KPJSolver:
             qreg.observe("query_latency_ms", elapsed_ms)
             snapshot = qreg.as_dict()
             self.metrics.merge(qreg)
+        trace_snapshot = None
+        if qtr is not None:
+            qtr.end(root_span, paths=len(paths))
+            trace_snapshot = qtr.as_dict()
+            self.tracer.absorb(trace_snapshot)
         return QueryResult(
             paths=paths,
             algorithm=algorithm,
             stats=stats,
             elapsed_ms=elapsed_ms,
             metrics=snapshot,
+            trace=trace_snapshot,
         )
 
 

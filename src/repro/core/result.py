@@ -67,6 +67,13 @@ class QueryResult:
         snapshot (phase timers, gauges) when the solver has metrics
         enabled; ``None`` otherwise.  A plain dict so it crosses the
         batch pool's fork boundary like the stats counters do.
+    trace:
+        Per-query :meth:`~repro.obs.tracing.SpanTracer.as_dict` span
+        snapshot when the solver has a tracer attached and this query
+        was sampled; ``None`` otherwise.  Also a plain dict — pool
+        workers ship it back with the result and
+        :func:`~repro.server.pool.run_batch` re-roots it under the
+        batch span.
     """
 
     paths: list[Path]
@@ -74,6 +81,7 @@ class QueryResult:
     stats: SearchStats = field(default_factory=SearchStats)
     elapsed_ms: float = 0.0
     metrics: dict | None = None
+    trace: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready representation including stats counters."""
@@ -85,6 +93,8 @@ class QueryResult:
         }
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     @property

@@ -190,6 +190,7 @@ def iter_bound_spti(
     flat_core: bool | None = None,
     trace=None,
     metrics=None,
+    tracer=None,
 ) -> list[Path]:
     """Top-``k`` paths via the incremental-SPT iteratively bounding search.
 
@@ -220,6 +221,11 @@ def iter_bound_spti(
         Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
         phase attribution: ``comp_sp`` for the initial tree build,
         then the driver's ``spt_grow``/``test_lb``/``division``.
+    tracer:
+        Optional :class:`~repro.obs.tracing.SpanTracer`; the initial
+        tree build becomes a ``comp_sp`` span and the driver records
+        its span taxonomy with ``bound_kind="spt_i"`` (pruning is by
+        exact tree distances; Prop. 5.2).
 
     Returns paths in ``G_Q`` coordinates (source → … → virtual target).
     """
@@ -228,14 +234,21 @@ def iter_bound_spti(
     if flat_core:
         return flat_spti_search(
             query_graph, k, target_bounds, source_bounds, alpha=alpha, stats=stats,
-            trace=trace, metrics=metrics,
+            trace=trace, metrics=metrics, tracer=tracer,
         )
     stats = stats if stats is not None else SearchStats()
     tree = IncrementalSPT(query_graph, target_bounds, stats=stats)
     stats.shortest_path_computations += 1
-    if metrics is not None:
-        with metrics.phase_timer("comp_sp"):
-            initial = tree.build_initial(query_graph.target)
+    if metrics is not None or tracer is not None:
+        from time import perf_counter
+
+        t0 = perf_counter()
+        initial = tree.build_initial(query_graph.target)
+        t1 = perf_counter()
+        if metrics is not None:
+            metrics.observe_phase("comp_sp", t1 - t0)
+        if tracer is not None:
+            tracer.add("comp_sp", t0, t1, cat="phase")
     else:
         initial = tree.build_initial(query_graph.target)
     if initial is None:
@@ -293,6 +306,8 @@ def iter_bound_spti(
         use_flat_engine=False,
         trace=trace,
         metrics=metrics,
+        tracer=tracer,
+        bound_kind="spt_i",
     )
     stats.spt_nodes = len(tree)
     return [

@@ -72,6 +72,7 @@ def iter_bound_sptp(
     alpha: float = 1.1,
     stats: SearchStats | None = None,
     metrics=None,
+    tracer=None,
 ) -> list[Path]:
     """Top-``k`` paths via the iteratively bounding search over ``SPT_P``.
 
@@ -88,25 +89,40 @@ def iter_bound_sptp(
         Alg. 6 backward build (the query's one unconditional
         shortest-path computation *and* its partial-tree growth) is
         attributed to ``comp_sp``, the driver's phases follow.
+    tracer:
+        Optional :class:`~repro.obs.tracing.SpanTracer`; the Alg. 6
+        build becomes a ``comp_sp`` span (tree size as attribute) and
+        the driver records its span taxonomy with
+        ``bound_kind="spt_p"``.
 
     Returns paths in ``G_Q`` coordinates.
     """
+    from time import perf_counter
+
     stats = stats if stats is not None else SearchStats()
     graph = query_graph.graph
     # Seeding the backward A* at the virtual target is equivalent to
     # seeding every destination at distance zero (the reverse adjacency
     # of t is exactly V_T with zero weights).
     stats.shortest_path_computations += 1
-    if metrics is not None:
-        with metrics.phase_timer("comp_sp"):
-            tree = build_partial_spt(
-                graph,
-                query_graph.source,
-                (query_graph.target,),
-                source_bounds,
-                stats=stats,
+    if metrics is not None or tracer is not None:
+        t0 = perf_counter()
+        tree = build_partial_spt(
+            graph,
+            query_graph.source,
+            (query_graph.target,),
+            source_bounds,
+            stats=stats,
+        )
+        t1 = perf_counter()
+        if metrics is not None:
+            metrics.observe_phase("comp_sp", t1 - t0)
+            metrics.set_gauge("sptp_tree_nodes", len(tree))
+        if tracer is not None:
+            tracer.add(
+                "comp_sp", t0, t1, cat="phase",
+                attrs={"tree_nodes": len(tree)},
             )
-        metrics.set_gauge("sptp_tree_nodes", len(tree))
     else:
         tree = build_partial_spt(
             graph,
@@ -130,4 +146,6 @@ def iter_bound_sptp(
         stats=stats,
         initial=(tree.source_path, first_length),
         metrics=metrics,
+        tracer=tracer,
+        bound_kind="spt_p",
     )

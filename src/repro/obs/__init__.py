@@ -2,9 +2,11 @@
 
 A lightweight, dependency-free metrics layer: phase timers, counters,
 gauges, fixed-bucket histograms, Prometheus text exposition, and the
-strict parser the CI smoke job runs against it.  Disabled-path
-overhead is one ``None`` check per site — see
-:mod:`repro.obs.metrics` and DESIGN.md §"Observability".
+strict parser the CI smoke job runs against it — plus the span tracer
+(:mod:`repro.obs.tracing`: per-query timelines, Chrome trace-event
+export, tree dumps) and the subspace-tree introspection built on it
+(:mod:`repro.obs.subspace_report`).  Disabled-path overhead is one
+``None`` check per site — see DESIGN.md §3c/§3d.
 """
 
 from repro.obs.metrics import (
@@ -15,6 +17,15 @@ from repro.obs.metrics import (
     maybe_phase,
     parse_prom,
 )
+from repro.obs.subspace_report import DepthRow, SubspaceTreeReport
+from repro.obs.tracing import (
+    SpanTracer,
+    chrome_trace,
+    maybe_span,
+    phase_durations,
+    render_tree,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -23,4 +34,12 @@ __all__ = [
     "parse_prom",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "SEARCH_PHASES",
+    "SpanTracer",
+    "maybe_span",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "render_tree",
+    "phase_durations",
+    "SubspaceTreeReport",
+    "DepthRow",
 ]

@@ -270,6 +270,25 @@ class MetricsRegistry:
             reg.histograms[name] = Histogram.from_dict(hist)
         return reg
 
+    def to_json(self) -> str:
+        """Stable JSON encoding (sorted keys) of :meth:`as_dict`.
+
+        The persistence form for run artifacts (bench reports,
+        regression baselines); :meth:`from_json` inverts it exactly —
+        a round-tripped registry merges, reports, and renders
+        identically to the original.
+        """
+        import json
+
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))
+
     def report(self) -> dict:
         """The structured run report (``--metrics json`` payload).
 

@@ -29,6 +29,7 @@ from typing import Mapping, Sequence
 
 from repro.exceptions import QueryError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
 
 __all__ = ["BatchQuery", "run_batch"]
 
@@ -139,7 +140,8 @@ def _warm_with_metrics(solver, batch: Sequence[BatchQuery], metrics) -> None:
 
 
 def run_batch(
-    solver, queries: Sequence, workers: int = 1, stats=None, metrics=None
+    solver, queries: Sequence, workers: int = 1, stats=None, metrics=None,
+    tracer=None,
 ) -> list:
     """Answer ``queries`` with ``solver``, sharded over ``workers``.
 
@@ -164,6 +166,18 @@ def run_batch(
     warm-up under the dedicated ``warmup`` phase.  If the solver has
     no registry of its own, one is installed for the duration of the
     batch so the snapshots exist, and removed afterwards.
+
+    When a :class:`~repro.obs.tracing.SpanTracer` is passed as
+    ``tracer`` the whole call is recorded as one ``batch`` span, the
+    pre-fork warm-up as a ``warmup`` phase span under it, and every
+    sampled query's span snapshot — ``QueryResult.trace``, whether it
+    was recorded in-process or shipped back from a worker — is
+    re-rooted under the batch span with the recording process's
+    ``pid`` intact.  ``perf_counter`` is one machine-wide monotonic
+    clock on the platforms that can fork, so parent and worker spans
+    share a timeline (the pool test asserts no timestamp inversions).
+    If the solver has no tracer of its own, one (with the same
+    sampling stride) is installed for the duration and removed after.
     """
     global _WORKER_SOLVER
     batch = [_coerce(q) for q in queries]
@@ -175,6 +189,16 @@ def run_batch(
         # Must be installed before the fork so workers inherit it and
         # produce per-query snapshots.
         solver.metrics = MetricsRegistry()
+    own_tracer = tracer is not None and solver.tracer is None
+    if own_tracer:
+        solver.tracer = SpanTracer(
+            capacity=tracer.capacity, sample_every=tracer.sample_every
+        )
+    batch_span = (
+        tracer.begin("batch", cat="batch", queries=len(batch), workers=workers)
+        if tracer is not None
+        else None
+    )
     try:
         results: list | None = None
         if workers > 1:
@@ -184,10 +208,13 @@ def run_batch(
                 ctx = None
             if ctx is not None:
                 before = solver.cache_info()
+                t_warm = perf_counter()
                 if solver.metrics is not None or metrics is not None:
                     _warm_with_metrics(solver, batch, metrics)
                 else:
                     _warm_cache(solver, batch)
+                if tracer is not None:
+                    tracer.add("warmup", t_warm, perf_counter(), cat="phase")
                 after = solver.cache_info()
                 if stats is not None:
                     stats.prepared_cache_hits += after["hits"] - before["hits"]
@@ -210,7 +237,20 @@ def run_batch(
             for result in results:
                 if result.metrics is not None:
                     metrics.merge(result.metrics)
+        if tracer is not None:
+            # Re-root every query tree (local or worker-recorded)
+            # under the batch span *before* ending it, so the batch
+            # span's interval covers all of its children.
+            for result in results:
+                if result.trace is not None:
+                    tracer.absorb(result.trace, parent=batch_span)
+            tracer.end(batch_span)
+            batch_span = None
     finally:
         if own_metrics:
             solver.metrics = None
+        if own_tracer:
+            solver.tracer = None
+        if batch_span is not None:
+            tracer.end(batch_span)  # error path: close the batch span
     return results

@@ -1,0 +1,69 @@
+"""to_json/from_json round-trips for SearchStats and MetricsRegistry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.stats import SearchStats
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSearchStatsRoundTrip:
+    def test_round_trip_preserves_every_counter(self):
+        stats = SearchStats(
+            shortest_path_computations=3,
+            lb_tests=17,
+            lb_test_failures=5,
+            nodes_settled=1234,
+            subspaces_created=40,
+            subspaces_pruned=31,
+            prepared_cache_hits=2,
+        )
+        restored = SearchStats.from_json(stats.to_json())
+        assert restored == stats
+        assert restored.as_dict() == stats.as_dict()
+
+    def test_encoding_is_stable_json(self):
+        text = SearchStats(lb_tests=1).to_json()
+        data = json.loads(text)
+        assert data["lb_tests"] == 1
+        assert list(data) == sorted(data)  # sorted keys: diffable artifacts
+
+    def test_unknown_key_fails_loudly(self):
+        with pytest.raises(TypeError):
+            SearchStats.from_json('{"not_a_counter": 1}')
+
+
+class TestMetricsRegistryRoundTrip:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("queries", 3)
+        reg.set_gauge("prepared_cache_entries", 7)
+        reg.observe_phase("comp_sp", 0.25, calls=2)
+        reg.observe_phase("test_lb", 0.0625)
+        reg.observe("query_latency_ms", 12.5)
+        reg.observe("query_latency_ms", 80.0)
+        return reg
+
+    def test_round_trip_preserves_report(self):
+        reg = self._populated()
+        restored = MetricsRegistry.from_json(reg.to_json())
+        assert restored.as_dict() == reg.as_dict()
+        assert restored.report() == reg.report()
+        assert restored.render_prom() == reg.render_prom()
+
+    def test_round_tripped_registry_still_merges(self):
+        reg = self._populated()
+        restored = MetricsRegistry.from_json(reg.to_json())
+        restored.merge(reg)
+        assert restored.counters["queries"] == 6
+        assert restored.phases["comp_sp"] == [0.5, 4]
+
+    def test_json_has_no_nonscalar_surprises(self):
+        # the artifact must survive a strict JSON round-trip unchanged
+        text = self._populated().to_json()
+        assert json.loads(text) == json.loads(
+            MetricsRegistry.from_json(text).to_json()
+        )

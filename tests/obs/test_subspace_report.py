@@ -1,0 +1,126 @@
+"""SubspaceTreeReport: reconstruction from spans and SearchTrace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iter_bound import iter_bound
+from repro.core.kpj import KPJSolver
+from repro.core.trace import SearchTrace
+from repro.datasets.registry import road_network
+from repro.graph.virtual import build_query_graph
+from repro.landmarks.index import ZERO_BOUNDS
+from repro.obs.subspace_report import DepthRow, SubspaceTreeReport
+from repro.obs.tracing import SpanTracer
+
+
+@pytest.fixture(scope="module")
+def sj():
+    return road_network("SJ")
+
+
+def span(name, attrs):
+    return {"id": 0, "parent": None, "name": name, "cat": "phase",
+            "ts": 0.0, "dur": 0.0, "pid": 1, "attrs": attrs}
+
+
+class TestFromSpans:
+    def test_empty(self):
+        report = SubspaceTreeReport.from_spans(None)
+        assert report.rows == {}
+        assert report.subspaces_created is None
+        assert report.subspaces_pruned is None
+        assert "no subspace events" in report.render()
+
+    def test_counts_and_totals(self):
+        snapshot = {
+            "spans": [
+                span("division", {"depth": 0, "children": 5, "pruned": 2}),
+                span("test_lb", {"depth": 1, "verdict": "hit"}),
+                span("test_lb", {"depth": 1, "verdict": "miss"}),
+                span("test_lb", {"depth": 2, "verdict": "retire"}),
+                span("division", {"depth": 1, "children": 3, "pruned": 0}),
+                span("iter_bound",
+                     {"bound_kind": "spt_i", "leftover": 4, "results": 2}),
+            ],
+            "evicted": 0,
+        }
+        report = SubspaceTreeReport.from_spans(snapshot)
+        assert report.bound_kind == "spt_i"
+        assert report.lb_tests == 3
+        assert report.lb_test_failures == 2  # miss + retire
+        assert report.outputs == 2
+        assert report.subspaces_created == 1 + 5 + 3
+        assert report.subspaces_pruned == 2 + 1 + 4  # born + retired + leftover
+        assert report.max_depth == 2
+        assert report.rows[1] == DepthRow(
+            depth=1, tested=2, hits=1, misses=1, expanded=1, children=3
+        )
+        assert report.complete
+        text = report.render()
+        assert "bound: spt_i" in text
+        assert "created=9" in text and "pruned=7" in text
+
+    def test_eviction_marks_incomplete(self):
+        report = SubspaceTreeReport.from_spans({"spans": [], "evicted": 3})
+        assert not report.complete
+
+    def test_accepts_live_tracer(self):
+        tracer = SpanTracer()
+        tracer.add("test_lb", 0.0, 0.1, cat="phase",
+                   attrs={"depth": 0, "verdict": "hit"})
+        report = SubspaceTreeReport.from_spans(tracer)
+        assert report.lb_tests == 1
+
+
+class TestFromSearchTrace:
+    def test_matches_span_reconstruction(self, sj):
+        """explain --tree and the tracer share one reconstruction."""
+        destinations = sj.categories.nodes_of("T2")
+        qg = build_query_graph(sj.graph, (3,), destinations)
+
+        trace = SearchTrace()
+        tracer = SpanTracer()
+        paths = iter_bound(qg, 6, ZERO_BOUNDS, trace=trace, tracer=tracer)
+        assert paths
+
+        from_trace = SubspaceTreeReport.from_search_trace(trace)
+        from_spans = SubspaceTreeReport.from_spans(tracer)
+        # per-depth verdict tallies agree between the two narrations
+        assert set(from_trace.rows) == set(from_spans.rows)
+        for depth, row in from_trace.rows.items():
+            other = from_spans.rows[depth]
+            assert (row.tested, row.hits, row.misses, row.retired,
+                    row.expanded) == (
+                other.tested, other.hits, other.misses, other.retired,
+                other.expanded), depth
+        # SearchTrace narration has no fan-out: totals stay None
+        assert from_trace.subspaces_created is None
+        assert from_trace.subspaces_pruned is None
+        assert from_spans.subspaces_created is not None
+
+    def test_render_without_divisions_omits_fanout_columns(self, sj):
+        destinations = sj.categories.nodes_of("T2")
+        qg = build_query_graph(sj.graph, (3,), destinations)
+        trace = SearchTrace()
+        iter_bound(qg, 3, ZERO_BOUNDS, trace=trace)
+        text = SubspaceTreeReport.from_search_trace(trace).render()
+        assert "children" not in text
+        assert "tested" in text
+
+
+class TestSolverParity:
+    @pytest.mark.parametrize("kernel", ["dict", "flat"])
+    def test_report_equals_stats_counters(self, sj, kernel):
+        solver = KPJSolver(
+            sj.graph, sj.categories, landmarks=8, kernel=kernel,
+            tracer=SpanTracer(),
+        )
+        result = solver.top_k(14, category="T2", k=10)
+        report = SubspaceTreeReport.from_spans(result.trace)
+        assert report.lb_tests == result.stats.lb_tests
+        assert report.lb_test_failures == result.stats.lb_test_failures
+        assert report.subspaces_created == result.stats.subspaces_created
+        assert report.subspaces_pruned == result.stats.subspaces_pruned
+        ratio = report.pruned_expanded_ratio
+        assert ratio is None or ratio >= 0
