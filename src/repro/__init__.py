@@ -21,7 +21,11 @@ from repro.core.kpj import ALGORITHMS, DEFAULT_ALGORITHM, KPJSolver
 from repro.core.result import Path, QueryResult
 from repro.core.stats import SearchStats
 from repro.core.walks import top_k_walks
-from repro.validation import validate_against_oracle, validate_result
+from repro.validation import (
+    validate_against_oracle,
+    validate_instance,
+    validate_result,
+)
 from repro.datasets.registry import available_datasets, road_network
 from repro.exceptions import (
     DatasetError,
@@ -42,6 +46,7 @@ __all__ = [
     "gkpj",
     "top_k_walks",
     "validate_against_oracle",
+    "validate_instance",
     "validate_result",
     "ALGORITHMS",
     "DEFAULT_ALGORITHM",

@@ -8,6 +8,7 @@ Subcommands::
     kpj bench    --figure fig7 [--queries 3]
     kpj metrics  --workload workload.json [--trace-out traces/]
     kpj trace    --dataset CAL --source 12 --category Lake --out t.json
+    kpj fuzz     --seed 0 --cases 1000 [--shrink] [--self-check]
 
 ``query`` answers one KPJ query on a named dataset and prints the
 paths; ``batch`` answers a whole workload (optionally across a worker
@@ -32,6 +33,14 @@ inline; ``metrics --workload W --trace-out DIR`` additionally writes
 one Chrome trace file per query of the workload; ``explain --tree``
 prints the same subspace-tree reconstruction from the ``SearchTrace``
 narration.
+
+``fuzz`` runs the differential fuzzing harness (:mod:`repro.fuzz`):
+seeded random instances cross-checked over every registry algorithm ×
+kernel × cached/uncached × sequential/batch against the brute-force
+and Yen oracles (small cases) or metamorphic invariants (large
+cases).  Failures are shrunk and written as replayable repro files;
+``--replay FILE`` re-runs one, and ``--self-check`` plants known
+mutations to prove the harness catches each bug class.
 """
 
 from __future__ import annotations
@@ -177,6 +186,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--tree",
         action="store_true",
         help="print the per-depth subspace-tree report",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: every algorithm × kernel vs the oracles",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--cases", type=int, default=200, help="number of generated cases"
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop generating new cases after this much wall clock",
+    )
+    fuzz.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        action="append",
+        dest="kernels",
+        help="substrate to cross-check (repeatable; default: all)",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="minimise failing cases before reporting (default: on)",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        default="fuzz/corpus",
+        help="where failure repro files are written (default: fuzz/corpus)",
+    )
+    fuzz.add_argument(
+        "--self-check",
+        action="store_true",
+        help="plant each known mutation and assert the harness catches it",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        action="append",
+        help="re-run a repro/corpus file instead of fuzzing (repeatable)",
     )
 
     metrics = sub.add_parser(
@@ -579,6 +633,57 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.exceptions import QueryError
+    from repro.fuzz import replay_file, run_fuzz, self_check
+
+    kernels = tuple(args.kernels) if args.kernels else tuple(KERNELS)
+    if args.replay:
+        worst = 0
+        for path in args.replay:
+            try:
+                failures = replay_file(path, kernels=kernels)
+            except QueryError as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                return 2
+            if failures:
+                worst = 1
+                print(f"{path}: {len(failures)} failure(s)")
+                for message in failures:
+                    print(f"  - {message}")
+            else:
+                print(f"{path}: ok")
+        return worst
+    if args.self_check:
+        outcomes = self_check(seed=args.seed, kernels=kernels)
+        width = max(len(name) for name in outcomes)
+        all_good = True
+        for name, good in sorted(outcomes.items()):
+            verdict = "detected" if good else "MISSED"
+            if name == "clean":
+                verdict = "no false positives" if good else "FALSE POSITIVE"
+            all_good &= good
+            print(f"  {name:<{width}}  {verdict}")
+        if not all_good:
+            print("self-check FAILED: the harness is blind to a planted bug",
+                  file=sys.stderr)
+            return 1
+        print(f"self-check ok: {len(outcomes) - 1} planted mutations "
+              "detected, clean run stayed green")
+        return 0
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        time_budget=args.time_budget,
+        kernels=kernels,
+        shrink=args.shrink,
+        corpus_dir=args.corpus_dir,
+        progress=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -666,6 +771,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "trace":

@@ -13,12 +13,19 @@ assert, so the contract is written down exactly once.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.core.result import QueryResult
+from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
 
-__all__ = ["validate_result", "validate_against_oracle", "ValidationReport"]
+__all__ = [
+    "validate_instance",
+    "validate_result",
+    "validate_against_oracle",
+    "ValidationReport",
+]
 
 
 class ValidationReport:
@@ -46,6 +53,57 @@ class ValidationReport:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         status = "ok" if self.ok else f"{len(self.violations)} violations"
         return f"ValidationReport({status})"
+
+
+def validate_instance(
+    n: int,
+    edges: Sequence[tuple[int, int, float]],
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    k: int,
+    allow_parallel_edges: bool = False,
+) -> None:
+    """Reject a malformed ``(graph spec, query)`` instance up front.
+
+    The fuzzing harness (and any caller replaying an untrusted repro
+    file) feeds raw edge lists and query parameters into the system;
+    this is the single choke point that turns every malformed input —
+    negative or non-finite weights, self-loops, duplicate edges,
+    out-of-range node ids, empty endpoint sets, ``k <= 0`` — into a
+    clean :class:`~repro.exceptions.QueryError` instead of a deep
+    stack trace from whichever layer happens to trip over it first.
+
+    ``allow_parallel_edges=True`` permits duplicate ``(u, v)`` pairs
+    (the generator's parallel-edge shape; :meth:`DiGraph.freeze`
+    collapses them to the minimum weight), while still rejecting
+    everything else.
+    """
+    if n <= 0:
+        raise QueryError(f"instance needs at least one node, got n={n}")
+    seen_pairs: set[tuple[int, int]] = set()
+    for u, v, w in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"edge ({u}, {v}) out of node range [0, {n})")
+        if u == v:
+            raise QueryError(f"self-loop on node {u} is not a valid edge")
+        if not math.isfinite(w) or w < 0.0:
+            raise QueryError(
+                f"edge ({u}, {v}) has invalid weight {w!r}; "
+                "weights must be finite and >= 0"
+            )
+        if (u, v) in seen_pairs and not allow_parallel_edges:
+            raise QueryError(f"duplicate edge ({u}, {v}) in instance")
+        seen_pairs.add((u, v))
+    if not sources:
+        raise QueryError("query needs at least one source node")
+    if not destinations:
+        raise QueryError("query needs at least one destination node")
+    for role, nodes in (("source", sources), ("destination", destinations)):
+        for node in nodes:
+            if not 0 <= node < n:
+                raise QueryError(f"{role} node {node} out of range [0, {n})")
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
 
 
 def validate_result(

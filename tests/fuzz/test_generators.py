@@ -1,0 +1,110 @@
+"""Generator determinism, shape coverage, and case serialisation."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.fuzz import CASE_SHAPES, FuzzCase, generate_case
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        assert generate_case(42) == generate_case(42)
+
+    def test_different_seeds_differ_somewhere(self):
+        cases = {generate_case(seed).to_json() for seed in range(20)}
+        assert len(cases) > 1
+
+    def test_shape_rotation_covers_all_shapes(self):
+        shapes = {generate_case(seed).shape for seed in range(len(CASE_SHAPES))}
+        assert shapes == set(CASE_SHAPES)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("shape", sorted(CASE_SHAPES))
+    def test_shape_builds_a_frozen_graph(self, shape):
+        case = generate_case(7, shape=shape)
+        graph = case.graph()
+        assert graph.frozen
+        assert graph.n == case.n
+
+    def test_dag_is_acyclic(self):
+        case = generate_case(3, shape="dag")
+        graph = case.graph()
+        # Kahn's algorithm consumes every node iff the graph is a DAG.
+        indeg = [0] * graph.n
+        for _, v, _ in graph.edges():
+            indeg[v] += 1
+        queue = [u for u in range(graph.n) if indeg[u] == 0]
+        seen = 0
+        while queue:
+            u = queue.pop()
+            seen += 1
+            for v, _ in graph.out_edges(u):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        assert seen == graph.n
+
+    def test_parallel_shape_emits_duplicate_pairs(self):
+        case = generate_case(11, shape="parallel")
+        pairs = [(u, v) for u, v, _ in case.edges]
+        assert len(pairs) > len(set(pairs))
+        # freeze() collapses them to the minimum weight
+        graph = case.graph()
+        assert graph.m == len(set(pairs))
+
+    def test_zero_weight_shape_has_zero_edges(self):
+        case = generate_case(5, shape="zero_weight")
+        assert any(w == 0.0 for _, _, w in case.edges)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(QueryError, match="unknown case shape"):
+            generate_case(0, shape="moebius")
+
+    def test_kpj_cases_carry_decoy_categories(self):
+        for seed in range(40):
+            case = generate_case(seed)
+            if case.kind == "kpj":
+                index = case.category_index()
+                assert "singleton" in index
+                assert index.has_category("empty")
+                break
+        else:  # pragma: no cover - statistically impossible
+            pytest.fail("no kpj case in 40 seeds")
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        for seed in range(12):
+            case = generate_case(seed)
+            assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(QueryError, match="malformed fuzz case JSON"):
+            FuzzCase.from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(QueryError, match="malformed fuzz case"):
+            FuzzCase.from_dict({"n": 3})
+
+    def test_invalid_instance_rejected_on_construction(self):
+        with pytest.raises(QueryError, match="self-loop"):
+            FuzzCase(
+                n=2, edges=((0, 0, 1.0),), kind="ksp",
+                sources=(0,), destinations=(1,), k=1,
+            )
+
+    def test_kind_validated(self):
+        with pytest.raises(QueryError, match="unknown query kind"):
+            FuzzCase(
+                n=2, edges=((0, 1, 1.0),), kind="tsp",
+                sources=(0,), destinations=(1,), k=1,
+            )
+
+    def test_category_must_label_destinations(self):
+        with pytest.raises(QueryError, match="does not label"):
+            FuzzCase(
+                n=3, edges=((0, 1, 1.0),), kind="kpj",
+                sources=(0,), destinations=(1,), k=1,
+                categories={"T": (2,)}, category="T",
+            )

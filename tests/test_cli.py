@@ -331,6 +331,54 @@ class TestMetricsFlags:
         assert "dict_kernel_calls" not in out  # zero under the flat kernel
 
 
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.command == "fuzz"
+        assert args.seed == 0
+        assert args.cases == 200
+        assert args.shrink is True
+        assert args.kernels is None
+        assert args.corpus_dir == "fuzz/corpus"
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--seed", "7", "--cases", "50", "--time-budget", "1.5",
+             "--kernel", "dict", "--kernel", "flat", "--no-shrink"]
+        )
+        assert args.seed == 7
+        assert args.time_budget == 1.5
+        assert args.kernels == ["dict", "flat"]
+        assert args.shrink is False
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--kernel", "gpu"])
+
+    def test_small_run_is_clean(self, capsys, tmp_path):
+        code = main(
+            ["fuzz", "--seed", "0", "--cases", "15", "--kernel", "dict",
+             "--corpus-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all configurations agree" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_replay_corpus_file(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).parent.parent / "fuzz" / "corpus"
+        path = str(sorted(corpus.glob("*.json"))[0])
+        assert main(["fuzz", "--replay", path, "--kernel", "dict"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_replay_missing_file(self, capsys):
+        code = main(["fuzz", "--replay", "/no/such/repro.json"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestMetricsCommand:
     def workload(self, tmp_path, **overrides):
         import json

@@ -4,11 +4,77 @@ import pytest
 
 from repro.core.kpj import KPJSolver
 from repro.core.result import Path, QueryResult
-from repro.validation import validate_against_oracle, validate_result
+from repro.exceptions import QueryError
+from repro.validation import (
+    validate_against_oracle,
+    validate_instance,
+    validate_result,
+)
 
 
 def make_result(paths):
     return QueryResult(paths=paths, algorithm="test")
+
+
+class TestValidateInstance:
+    """Malformed instances must raise QueryError, not crash deeper layers."""
+
+    EDGES = ((0, 1, 1.0), (1, 2, 2.0))
+
+    def test_valid_instance_passes(self):
+        validate_instance(3, self.EDGES, [0], [2], k=2)  # must not raise
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(QueryError, match="invalid weight"):
+            validate_instance(3, ((0, 1, -1.0),), [0], [1], k=1)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_weight_rejected(self, bad):
+        with pytest.raises(QueryError, match="invalid weight"):
+            validate_instance(3, ((0, 1, bad),), [0], [1], k=1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError, match="self-loop"):
+            validate_instance(3, ((1, 1, 1.0),), [0], [2], k=1)
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(QueryError, match="duplicate edge"):
+            validate_instance(3, ((0, 1, 1.0), (0, 1, 2.0)), [0], [1], k=1)
+
+    def test_duplicate_edge_allowed_when_opted_in(self):
+        validate_instance(
+            3, ((0, 1, 1.0), (0, 1, 2.0)), [0], [1], k=1,
+            allow_parallel_edges=True,
+        )
+
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_non_positive_k_rejected(self, k):
+        with pytest.raises(QueryError, match="k must be positive"):
+            validate_instance(3, self.EDGES, [0], [2], k=k)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(QueryError, match="at least one node"):
+            validate_instance(0, (), [0], [0], k=1)
+
+    def test_edge_endpoint_out_of_range_rejected(self):
+        with pytest.raises(QueryError, match="out of node range"):
+            validate_instance(2, ((0, 5, 1.0),), [0], [1], k=1)
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(QueryError, match="at least one source"):
+            validate_instance(3, self.EDGES, [], [2], k=1)
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(QueryError, match="at least one destination"):
+            validate_instance(3, self.EDGES, [0], [], k=1)
+
+    @pytest.mark.parametrize("role,srcs,dsts", [
+        ("source", [7], [2]),
+        ("destination", [0], [-1]),
+    ])
+    def test_query_node_out_of_range_rejected(self, role, srcs, dsts):
+        with pytest.raises(QueryError, match=f"{role} node .* out of range"):
+            validate_instance(3, self.EDGES, srcs, dsts, k=1)
 
 
 class TestValidateResult:
