@@ -1,25 +1,37 @@
 """Continuous perf-regression harness (BENCH_trajectory.json).
 
 Runs a **pinned** small workload — COL, category T2, eight fixed
-sources, ``k=64``, eight landmarks, ``iter-bound-spti`` on the dict
-kernel — with the span tracer attached, and derives per-phase
-latencies from the recorded spans (:func:`repro.obs.tracing.
-phase_durations`, which sums only the ``cat == "phase"`` leaves, so
-container spans never double-count).  Each invocation either:
+sources, ``k=64``, eight landmarks, ``iter-bound-spti`` — once per
+kernel (``dict``, ``flat``, ``native``) with the span tracer
+attached, and derives per-phase latencies from the recorded spans
+(:func:`repro.obs.tracing.phase_durations`, which sums only the
+``cat == "phase"`` leaves, so container spans never double-count).
+The dict workload is protocol v1, byte-identical to the original
+single-workload harness, so its trajectory continues unbroken; the
+flat and native workloads differ only in the ``kernel`` field, which
+lets the trajectory file record the dict/flat/native speed story of
+the same answers over time.  (Under ``native`` the tracer forces the
+sequential TestLB loop — the batched driver has no span story — so
+the native column measures the compiled kernels per request.)  Each
+invocation either:
 
-* ``--update`` — appends one trajectory entry (git SHA, UTC date,
-  per-phase p50/p95 across the workload's queries, total-query
-  percentiles, and a checksum of every returned path) to
+* ``--update`` — appends one trajectory entry per workload (git SHA,
+  UTC date, per-phase p50/p95 across the workload's queries,
+  total-query percentiles, and a checksum of every returned path) to
   ``benchmarks/results/BENCH_trajectory.json``;
-* ``--check`` (the default) — re-measures and compares against the
-  **last committed entry**: any phase whose baseline p50 is at least
-  ``MIN_PHASE_MS`` and whose new p50 exceeds ``THRESHOLD`` (1.25×)
-  the baseline fails the gate, as does any change to the paths
-  checksum (a perf harness that silently computes different answers
-  is worse than a slow one).  On failure the offending run's span
-  timeline is written to ``results/regression_failure.trace.json``
-  (Chrome trace-event JSON — the CI perf-gate job uploads it as an
-  artifact) and the process exits non-zero.
+* ``--check`` (the default) — re-measures each workload and compares
+  it against the **latest committed entry with the same protocol**:
+  any phase whose baseline p50 is at least ``MIN_PHASE_MS`` and whose
+  new p50 exceeds ``THRESHOLD`` (1.25×) the baseline fails the gate,
+  as does any change to the paths checksum (a perf harness that
+  silently computes different answers is worse than a slow one).
+  A workload with no committed baseline yet is reported and skipped.
+  Whatever the mode, all kernels must return the **same** checksum as
+  each other — cross-kernel divergence fails immediately.  On failure
+  the offending run's span timeline is written to
+  ``results/regression_failure.trace.json`` (Chrome trace-event JSON
+  — the CI perf-gate job uploads it as an artifact) and the process
+  exits non-zero.
 
 Noise control: every query is measured ``REPS`` times (default 5)
 and the minimum per phase is kept — the minimum estimates the
@@ -66,8 +78,9 @@ MIN_PHASE_MS = 0.5
 #: Per-query repetitions; the per-phase minimum is kept.
 REPS = int(os.environ.get("REPRO_REGRESSION_REPS", "5"))
 
-#: The pinned workload.  Changing ANY of these invalidates the
-#: trajectory — bump the protocol version and start a fresh file.
+#: The pinned workload (protocol v1, unchanged since the first
+#: trajectory entry).  Changing ANY of these invalidates that
+#: kernel's trajectory — bump the protocol version and start fresh.
 PROTOCOL = {
     "version": 1,
     "dataset": "COL",
@@ -78,6 +91,14 @@ PROTOCOL = {
     "algorithm": "iter-bound-spti",
     "kernel": "dict",
 }
+
+#: One gated workload per kernel; identical but for the substrate, so
+#: their checksums must agree with each other on every run.
+PROTOCOLS = [
+    PROTOCOL,
+    {**PROTOCOL, "kernel": "flat"},
+    {**PROTOCOL, "kernel": "native"},
+]
 
 
 def _git_sha() -> str:
@@ -97,13 +118,12 @@ def _percentiles(values_ms: list[float]) -> dict[str, float]:
     return {"p50_ms": statistics.median(ordered), "p95_ms": ordered[p95_at]}
 
 
-def run_workload() -> tuple[dict, str, list[dict]]:
-    """Measure the pinned workload.
+def run_workload(spec: dict = PROTOCOL) -> tuple[dict, str, list[dict]]:
+    """Measure one pinned workload.
 
     Returns ``(per-phase percentiles, paths checksum, last-rep trace
     snapshots)`` — the snapshots back the failure artifact.
     """
-    spec = PROTOCOL
     dataset = road_network(spec["dataset"])
     solver = KPJSolver(
         dataset.graph,
@@ -150,13 +170,13 @@ def run_workload() -> tuple[dict, str, list[dict]]:
     return phases, checksum.hexdigest(), traces
 
 
-def make_entry() -> tuple[dict, list[dict]]:
-    phases, checksum, traces = run_workload()
+def make_entry(spec: dict = PROTOCOL) -> tuple[dict, list[dict]]:
+    phases, checksum, traces = run_workload(spec)
     entry = {
         "sha": _git_sha(),
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": ".".join(str(v) for v in sys.version_info[:3]),
-        "protocol": PROTOCOL,
+        "protocol": spec,
         "reps": REPS,
         "phases": phases,
         "paths_checksum": checksum,
@@ -168,6 +188,14 @@ def load_trajectory() -> list[dict]:
     if not TRAJECTORY.exists():
         return []
     return json.loads(TRAJECTORY.read_text())
+
+
+def baseline_for(trajectory: list[dict], spec: dict) -> dict | None:
+    """The latest committed entry measured under exactly ``spec``."""
+    for entry in reversed(trajectory):
+        if entry.get("protocol") == spec:
+            return entry
+    return None
 
 
 def check(entry: dict, baseline: dict) -> list[str]:
@@ -202,9 +230,10 @@ def check(entry: dict, baseline: dict) -> list[str]:
 
 
 def _print_entry(entry: dict, baseline: dict | None) -> None:
-    print(f"workload: {PROTOCOL['dataset']}/{PROTOCOL['category']} "
-          f"x{len(PROTOCOL['sources'])} sources, k={PROTOCOL['k']}, "
-          f"{PROTOCOL['algorithm']} ({PROTOCOL['kernel']} kernel), "
+    spec = entry["protocol"]
+    print(f"workload: {spec['dataset']}/{spec['category']} "
+          f"x{len(spec['sources'])} sources, k={spec['k']}, "
+          f"{spec['algorithm']} ({spec['kernel']} kernel), "
           f"best-of-{entry['reps']}")
     base_phases = (baseline or {}).get("phases", {})
     width = max(len(n) for n in entry["phases"])
@@ -235,55 +264,80 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    entry, traces = make_entry()
     trajectory = load_trajectory()
+    measured: list[tuple[dict, list[dict]]] = []
+    for spec in PROTOCOLS:
+        measured.append(make_entry(spec))
+
+    # Cross-kernel invariant: identical workload -> identical answers,
+    # whatever the substrate.  Checked in every mode.
+    checksums = {
+        e["protocol"]["kernel"]: e["paths_checksum"] for e, _ in measured
+    }
+    if len(set(checksums.values())) != 1:
+        print("CROSS-KERNEL CHECKSUM MISMATCH — the kernels disagree:",
+              file=sys.stderr)
+        for kernel, digest in sorted(checksums.items()):
+            print(f"  {kernel}: {digest[:16]}…", file=sys.stderr)
+        return 1
 
     if args.update:
-        trajectory.append(entry)
         RESULTS_DIR.mkdir(exist_ok=True)
+        for entry, _ in measured:
+            previous = baseline_for(trajectory, entry["protocol"])
+            trajectory.append(entry)
+            _print_entry(entry, previous)
         TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
-        _print_entry(entry, trajectory[-2] if len(trajectory) > 1 else None)
-        print(f"recorded entry {len(trajectory)} ({entry['sha'][:12]}) "
-              f"-> {TRAJECTORY}")
+        sha = measured[0][0]["sha"][:12]
+        print(f"recorded {len(measured)} entries ({sha}) -> {TRAJECTORY}")
         return 0
 
     if not trajectory:
         print(f"no trajectory at {TRAJECTORY}; run with --update first",
               file=sys.stderr)
         return 2
-    baseline = trajectory[-1]
-    failures = check(entry, baseline)
-    if failures:
-        # Second chance: a loaded runner inflates every phase at once.
-        # Re-measure and keep the per-phase minimum of both passes.
-        print("gate would fail; re-measuring once to rule out runner load",
-              file=sys.stderr)
-        retry, retry_traces = make_entry()
-        for name, now in retry["phases"].items():
-            old = entry["phases"].get(name)
-            if old is None or now["p50_ms"] < old["p50_ms"]:
-                entry["phases"][name] = now
-        if entry["paths_checksum"] != retry["paths_checksum"]:
-            failures = ["paths checksum unstable across two passes"]
+    exit_code = 0
+    for entry, traces in measured:
+        baseline = baseline_for(trajectory, entry["protocol"])
+        if baseline is None:
+            print(f"no baseline for the {entry['protocol']['kernel']!r} "
+                  "workload yet; run with --update to record one (skipped)")
+            continue
+        failures = check(entry, baseline)
+        if failures:
+            # Second chance: a loaded runner inflates every phase at
+            # once.  Re-measure and keep the per-phase minimum.
+            print("gate would fail; re-measuring once to rule out "
+                  "runner load", file=sys.stderr)
+            retry, retry_traces = make_entry(entry["protocol"])
+            for name, now in retry["phases"].items():
+                old = entry["phases"].get(name)
+                if old is None or now["p50_ms"] < old["p50_ms"]:
+                    entry["phases"][name] = now
+            if entry["paths_checksum"] != retry["paths_checksum"]:
+                failures = ["paths checksum unstable across two passes"]
+            else:
+                traces = retry_traces
+                failures = check(entry, baseline)
+        _print_entry(entry, baseline)
+        if failures:
+            print(f"\nPERF GATE FAILED vs {baseline['sha'][:12]} "
+                  f"({baseline['date']}):", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            RESULTS_DIR.mkdir(exist_ok=True)
+            # One Chrome document with every query's last-rep timeline.
+            merged = SpanTracer()
+            for trace in traces:
+                merged.absorb(trace)
+            FAILURE_TRACE.write_text(json.dumps(chrome_trace(merged)) + "\n")
+            print(f"  span timeline written to {FAILURE_TRACE}",
+                  file=sys.stderr)
+            exit_code = 1
         else:
-            traces = retry_traces
-            failures = check(entry, baseline)
-    _print_entry(entry, baseline)
-    if failures:
-        print(f"\nPERF GATE FAILED vs {baseline['sha'][:12]} "
-              f"({baseline['date']}):", file=sys.stderr)
-        for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        # One Chrome document holding every query's last-rep timeline.
-        merged = SpanTracer()
-        for trace in traces:
-            merged.absorb(trace)
-        FAILURE_TRACE.write_text(json.dumps(chrome_trace(merged)) + "\n")
-        print(f"  span timeline written to {FAILURE_TRACE}", file=sys.stderr)
-        return 1
-    print(f"\nperf gate OK vs {baseline['sha'][:12]} ({baseline['date']})")
-    return 0
+            print(f"perf gate OK vs {baseline['sha'][:12]} "
+                  f"({baseline['date']})")
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -169,9 +169,14 @@ class KPJSolver:
         Forwarded to :meth:`LandmarkIndex.build` when ``landmarks``
         is an ``int``.
     kernel:
-        Search substrate every query runs on: ``"dict"`` (default) or
-        ``"flat"`` (CSR flat-array kernels).  Results are identical;
-        only the speed profile changes.
+        Search substrate every query runs on: ``"dict"`` (default),
+        ``"flat"`` (CSR flat-array kernels), or ``"native"`` (the
+        compiled numba tier of :mod:`repro.pathing.native`, with
+        batched multi-source ``CompSP``; falls back to the flat
+        kernels when numba is absent).  Results are identical; only
+        the speed profile changes.  A ``native`` solver triggers JIT
+        compilation at construction (the ``warmup`` phase) so no
+        query pays it.
     prepared_cache_size:
         Number of prepared destination sets kept in the LRU
         cross-query cache (``0`` disables caching).  Each entry holds
@@ -234,6 +239,19 @@ class KPJSolver:
         self._prepared_cache: OrderedDict[tuple, PreparedCategory] = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        if kernel == "native":
+            # Compile the JIT kernels now (idempotent; an immediate
+            # no-op without numba) so the one-time compilation cost
+            # lands in the warmup phase, never in a query's comp_sp.
+            from repro.pathing import native
+
+            t0 = perf_counter()
+            native.warmup_jit()
+            t1 = perf_counter()
+            if metrics is not None:
+                metrics.observe_phase("warmup", t1 - t0)
+            if tracer is not None:
+                tracer.add("warmup", t0, t1, cat="phase")
         if isinstance(landmarks, int):
             self.landmark_index: LandmarkIndex | None = LandmarkIndex.build(
                 graph, landmarks, strategy=landmark_strategy, seed=seed, kernel=kernel,
@@ -533,6 +551,12 @@ class KPJSolver:
             )
             qreg.inc("queries")
             qreg.observe("query_latency_ms", elapsed_ms)
+            # Per-kernel dispatch counts (``kpj query --metrics``):
+            # which substrate the query's searches actually ran on.
+            for kern in KERNELS:
+                calls = getattr(stats, f"{kern}_kernel_calls")
+                if calls:
+                    qreg.inc(f"kernel_dispatch_{kern}", calls)
             snapshot = qreg.as_dict()
             self.metrics.merge(qreg)
         trace_snapshot = None

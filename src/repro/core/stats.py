@@ -39,10 +39,14 @@ class SearchStats:
         Subspaces produced by division / subspaces discarded without a
         shortest-path computation (empty or still unresolved when the
         k-th path was confirmed).
-    dict_kernel_calls / flat_kernel_calls:
+    dict_kernel_calls / flat_kernel_calls / native_kernel_calls:
         Kernel dispatches per substrate — how many constrained
-        searches / SPT builds ran on the dict arrangement vs the
-        flat CSR arrays (see :mod:`repro.pathing.kernels`).
+        searches / SPT builds ran on the dict arrangement, the flat
+        CSR arrays, or the compiled native tier (see
+        :mod:`repro.pathing.kernels`).  A ``native`` query that falls
+        back to a flat leaf (callable heuristic, numba absent for an
+        unconstrained kernel) still counts as a native dispatch — the
+        counter records what the caller asked for.
     prepared_cache_hits / prepared_cache_misses:
         Whether this query's destination set was served from the
         solver's prepared-category cache (bounds + ``G_Q`` overlay
@@ -60,6 +64,7 @@ class SearchStats:
     subspaces_pruned: int = 0
     dict_kernel_calls: int = 0
     flat_kernel_calls: int = 0
+    native_kernel_calls: int = 0
     prepared_cache_hits: int = 0
     prepared_cache_misses: int = 0
 

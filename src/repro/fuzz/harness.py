@@ -171,7 +171,7 @@ class FuzzReport:
 # ----------------------------------------------------------------------
 def check_case(
     case: FuzzCase,
-    kernels: Sequence[str] = ("dict", "flat"),
+    kernels: Sequence[str] = KERNELS,
     mutation: Callable[[list[Path], FuzzCase], list[Path]] | None = None,
     algorithm_hint: str = "iter-bound-spti",
 ) -> tuple[str, list[str]]:
@@ -204,7 +204,7 @@ def run_fuzz(
     seed: int = 0,
     cases: int = 200,
     time_budget: float | None = None,
-    kernels: Sequence[str] = ("dict", "flat"),
+    kernels: Sequence[str] = KERNELS,
     shrink: bool = True,
     corpus_dir: str | None = None,
     mutation: str | None = None,
@@ -297,7 +297,7 @@ def run_fuzz(
 
 
 def replay_file(
-    path: str, kernels: Sequence[str] = ("dict", "flat")
+    path: str, kernels: Sequence[str] = KERNELS
 ) -> list[str]:
     """Re-run the check for a repro or corpus file; return failures.
 

@@ -36,6 +36,7 @@ from repro.core.kpj import DEFAULT_ALGORITHM, KPJSolver
 from repro.core.result import QueryResult
 from repro.fuzz.generators import FuzzCase, simplified
 from repro.fuzz.oracles import TOL, _yen_lengths, build_solver, run_query
+from repro.pathing.kernels import KERNELS
 from repro.validation import validate_result
 
 __all__ = ["check_invariants", "INVARIANTS"]
@@ -92,7 +93,7 @@ def _structure_failures(
 
 def check_invariants(
     case: FuzzCase,
-    kernels: Sequence[str] = ("dict", "flat"),
+    kernels: Sequence[str] = KERNELS,
     algorithm: str = DEFAULT_ALGORITHM,
 ) -> list[str]:
     """Run every metamorphic check for one (typically large) case.

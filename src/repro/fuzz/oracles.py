@@ -25,6 +25,7 @@ from repro.baselines.brute_force import enumerate_simple_paths
 from repro.core.kpj import ALGORITHMS, KPJSolver
 from repro.core.result import Path, QueryResult
 from repro.fuzz.generators import FuzzCase, sequence_hash
+from repro.pathing.kernels import KERNELS
 from repro.server.pool import BatchQuery
 from repro.validation import validate_result
 
@@ -200,7 +201,7 @@ def _yen_lengths(case: FuzzCase) -> tuple[float, ...]:
 
 def check_against_oracles(
     case: FuzzCase,
-    kernels: Sequence[str] = ("dict", "flat"),
+    kernels: Sequence[str] = KERNELS,
     mutation: Mutation | None = None,
 ) -> list[str]:
     """Run the full differential matrix for one small case.

@@ -69,6 +69,11 @@ class CSRGraph:
     _mask_pool: list = field(default_factory=list, repr=False, compare=False)
     _inf_pool: list = field(default_factory=list, repr=False, compare=False)
     _rows: list | None = field(default=None, repr=False, compare=False)
+    # Compiled-kernel support: the dtype-checked contiguous array
+    # triple handed to the native (numba) kernels, and a pool of
+    # preallocated per-search ndarray scratch sets.
+    _typed: tuple | None = field(default=None, repr=False, compare=False)
+    _native_pool: list = field(default_factory=list, repr=False, compare=False)
 
     @property
     def n(self) -> int:
@@ -158,6 +163,25 @@ class CSRGraph:
             ]
             object.__setattr__(self, "_rows", rows)
         return self._rows
+
+    def typed_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """C-contiguous ``(indptr, indices, weights)`` for compiled kernels.
+
+        The native (numba) kernels require fixed dtypes
+        (``int64``/``int64``/``float64``) and contiguous memory; the
+        snapshot arrays already satisfy both in the common case, so
+        this normally returns the attributes themselves.  Arrays built
+        elsewhere (slices, alternate dtypes) are converted once and
+        the checked triple is cached on the snapshot.
+        """
+        if self._typed is None:
+            triple = (
+                np.ascontiguousarray(self.indptr, dtype=np.int64),
+                np.ascontiguousarray(self.indices, dtype=np.int64),
+                np.ascontiguousarray(self.weights, dtype=np.float64),
+            )
+            object.__setattr__(self, "_typed", triple)
+        return self._typed
 
 
 def to_csr(graph) -> CSRGraph:

@@ -42,6 +42,8 @@ from repro.graph.csr import CSRGraph
 __all__ = [
     "HAVE_SCIPY",
     "FlatScratch",
+    "acquire_scratch",
+    "release_scratch",
     "StampedNodeMask",
     "acquire_node_mask",
     "release_node_mask",

@@ -74,11 +74,23 @@ def build_spt_to_target(
     CSR kernel (scipy-accelerated where available); distances are
     identical, but per-node ``stats.nodes_settled`` increments are not
     recorded on that path (the C loop has no counter hook) — the
-    kernel-dispatch counter is bumped instead.
+    kernel-dispatch counter is bumped instead.  ``kernel="native"``
+    produces the arrays with the compiled kernel
+    (:func:`repro.pathing.native.native_spt_arrays`) under the same
+    contract.
     """
     from repro.pathing.kernels import resolve_kernel
 
-    if resolve_kernel(kernel) == "flat":
+    chosen = resolve_kernel(kernel)
+    if chosen == "native":
+        from repro.graph.csr import shared_csr
+        from repro.pathing.native import native_spt_arrays
+
+        if stats is not None:
+            stats.native_kernel_calls += 1
+        dist, next_hop = native_spt_arrays(shared_csr(graph), target)
+        return ShortestPathTree(target, dist, next_hop)
+    if chosen == "flat":
         from repro.graph.csr import shared_csr
         from repro.pathing.flat import flat_spt_arrays
 

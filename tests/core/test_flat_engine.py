@@ -31,11 +31,12 @@ from repro.graph.digraph import DiGraph
 from repro.graph.virtual import build_query_graph
 from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex
 from repro.pathing.flat import flat_bounded_astar_path
+from repro.pathing.kernels import KERNELS
 from tests.conftest import random_graph
 
 INF = float("inf")
 
-ENGINES = ("dict", "flat")
+ENGINES = KERNELS
 
 
 def _run_spti(graph, source, destinations, k, engine, stats=None, trace=None):

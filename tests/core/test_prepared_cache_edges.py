@@ -12,11 +12,12 @@ import pytest
 
 from repro.core.kpj import KPJSolver
 from repro.graph.categories import CategoryIndex
+from repro.pathing.kernels import KERNELS
 from repro.server.pool import BatchQuery
 
 from tests.conftest import random_graph
 
-KERNELS = ("dict", "flat")
+
 
 
 def paths_of(result):

@@ -37,6 +37,7 @@ class TestSearchStats:
             "subspaces_pruned",
             "dict_kernel_calls",
             "flat_kernel_calls",
+            "native_kernel_calls",
             "prepared_cache_hits",
             "prepared_cache_misses",
         }

@@ -6,6 +6,7 @@ from repro.core.iter_bound import iter_bound
 from repro.core.trace import SearchTrace, TraceEvent
 from repro.graph.virtual import build_query_graph
 from repro.landmarks.index import ZERO_BOUNDS
+from repro.pathing.kernels import KERNELS
 
 
 class TestTraceEvent:
@@ -158,7 +159,7 @@ class TestExplainCLI:
         assert "totals:" in out
         assert "found 2 paths" in out
 
-    @pytest.mark.parametrize("kernel", ["dict", "flat"])
+    @pytest.mark.parametrize("kernel", KERNELS)
     def test_explain_spti_narrates_either_kernel(self, capsys, kernel):
         from repro.cli import main
 

@@ -1,8 +1,9 @@
 """The committed seed corpus replays clean on every CI run.
 
 Every ``fuzz/corpus/*.json`` file goes through the full differential
-matrix — all registry algorithms × both kernels × cached/uncached ×
-sequential/batch vs. the brute-force and Yen oracles — and the corpus
+matrix — all registry algorithms × every kernel (dict, flat, native)
+× cached/uncached × sequential/batch vs. the brute-force and Yen
+oracles — and the corpus
 itself is pinned byte-for-byte to its in-code definition so the files
 and :mod:`repro.fuzz.corpus` can never drift apart.
 """

@@ -7,6 +7,7 @@ import pytest
 from repro.exceptions import QueryError
 from repro.fuzz import MUTATIONS, check_case, generate_case, replay_file, run_fuzz
 from repro.fuzz.harness import ORACLE_MAX_NODES, self_check
+from repro.pathing.kernels import KERNELS
 
 
 class TestCleanRuns:
@@ -17,8 +18,8 @@ class TestCleanRuns:
         assert report.oracle_cases > 0
         assert report.invariant_cases > 0
 
-    def test_both_kernels_clean(self):
-        report = run_fuzz(seed=1, cases=12, kernels=("dict", "flat"))
+    def test_all_kernels_clean(self):
+        report = run_fuzz(seed=1, cases=12, kernels=KERNELS)
         assert report.ok, report.summary()
 
     def test_determinism(self):

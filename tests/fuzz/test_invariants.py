@@ -6,13 +6,14 @@ from repro.fuzz import generate_case
 from repro.fuzz.invariants import check_invariants
 from repro.fuzz.generators import simplified
 from repro.fuzz.oracles import check_against_oracles, oracle_expectation
+from repro.pathing.kernels import KERNELS
 
 
 class TestInvariants:
     @pytest.mark.parametrize("seed", range(4))
     def test_large_case_invariants_hold(self, seed):
         case = generate_case(seed, min_nodes=20, max_nodes=30)
-        failures = check_invariants(case, kernels=("dict", "flat"))
+        failures = check_invariants(case, kernels=KERNELS)
         assert not failures, "\n".join(failures)
 
     def test_invariants_also_hold_on_small_cases(self):

@@ -5,6 +5,7 @@ import pytest
 from repro.core.kpj import KPJSolver
 from repro.datasets.registry import road_network
 from repro.obs.metrics import MetricsRegistry, SEARCH_PHASES
+from repro.pathing.kernels import KERNELS
 
 
 @pytest.fixture(scope="module")
@@ -87,7 +88,7 @@ class TestEnabledPath:
         assert reg.phases["prepare"][1] == 1
         assert reg.counters["prepared_cache_misses"] == 1
 
-    @pytest.mark.parametrize("kernel", ["dict", "flat"])
+    @pytest.mark.parametrize("kernel", KERNELS)
     def test_flat_engine_gauges(self, sj, kernel):
         reg = MetricsRegistry()
         solver = make_solver(sj, metrics=reg, kernel=kernel)
@@ -102,7 +103,7 @@ class TestEnabledPath:
 class TestPhaseTiling:
     """Acceptance criterion: phase sum within 10% of elapsed_ms."""
 
-    @pytest.mark.parametrize("kernel", ["dict", "flat"])
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize(
         "algorithm", ["iter-bound-spti", "iter-bound", "iter-bound-sptp", "da"]
     )

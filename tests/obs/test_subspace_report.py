@@ -12,6 +12,7 @@ from repro.graph.virtual import build_query_graph
 from repro.landmarks.index import ZERO_BOUNDS
 from repro.obs.subspace_report import DepthRow, SubspaceTreeReport
 from repro.obs.tracing import SpanTracer
+from repro.pathing.kernels import KERNELS
 
 
 @pytest.fixture(scope="module")
@@ -110,7 +111,7 @@ class TestFromSearchTrace:
 
 
 class TestSolverParity:
-    @pytest.mark.parametrize("kernel", ["dict", "flat"])
+    @pytest.mark.parametrize("kernel", KERNELS)
     def test_report_equals_stats_counters(self, sj, kernel):
         solver = KPJSolver(
             sj.graph, sj.categories, landmarks=8, kernel=kernel,

@@ -10,6 +10,7 @@ import pytest
 from repro.core.kpj import KPJSolver
 from repro.datasets.registry import road_network
 from repro.obs.subspace_report import SubspaceTreeReport
+from repro.pathing.kernels import KERNELS
 from repro.obs.tracing import (
     SpanTracer,
     chrome_trace,
@@ -241,7 +242,7 @@ class TestSolverIntegration:
         assert cache_attr(first) == "miss"
         assert cache_attr(second) == "hit"
 
-    @pytest.mark.parametrize("kernel", ["dict", "flat"])
+    @pytest.mark.parametrize("kernel", KERNELS)
     def test_report_totals_match_stats(self, sj, kernel):
         """SubspaceTreeReport from spans == SearchStats, both kernels."""
         solver = make_solver(sj, kernel=kernel, tracer=SpanTracer())

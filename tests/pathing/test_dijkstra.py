@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.stats import SearchStats
 from repro.graph.digraph import DiGraph
+from repro.pathing.kernels import KERNELS
 from repro.pathing.dijkstra import (
     constrained_shortest_path,
     multi_source_distances,
@@ -130,7 +131,7 @@ class TestCutoffBoundary:
         assert dist[3] == INF  # strictly beyond -> pruned
 
     def test_inclusive_on_both_kernels(self, line_graph):
-        for kernel in ("dict", "flat"):
+        for kernel in KERNELS:
             dist = single_source_distances(line_graph, 0, cutoff=3.0, kernel=kernel)
             assert dist[3] == 3.0, kernel
             assert dist[4] == INF, kernel

@@ -1,0 +1,313 @@
+"""Unit tests for the compiled ``native`` kernel tier.
+
+The container running CI may or may not have numba.  Every parity
+test therefore runs twice: once in whatever mode the environment
+provides (JIT, or the flat-delegating fallback), and once with the
+array engine forced via ``_FORCE_ARRAYS`` — which runs the kernel
+functions *interpreted*, so the exact code numba would compile is
+exercised even where numba is absent.
+"""
+
+import random
+
+import pytest
+
+from repro.core.flat_engine import FlatIncrementalSPT
+from repro.core.stats import SearchStats
+from repro.graph.csr import shared_csr
+from repro.pathing import flat, native
+from tests.conftest import random_graph
+
+INF = float("inf")
+
+
+@pytest.fixture(params=[False, True], ids=["ambient", "forced-arrays"])
+def engine_mode(request, monkeypatch):
+    """Run the test body under both native operating modes."""
+    if request.param:
+        monkeypatch.setattr(native, "_FORCE_ARRAYS", True)
+    return request.param
+
+
+def _graphs(seed: int, count: int, **kw):
+    rng = random.Random(seed)
+    return [random_graph(rng, **kw) for _ in range(count)]
+
+
+class TestEngineSelection:
+    def test_use_array_engine_follows_numba_or_force(self, monkeypatch):
+        monkeypatch.setattr(native, "_FORCE_ARRAYS", False)
+        assert native.use_array_engine() == native.HAVE_NUMBA
+        monkeypatch.setattr(native, "_FORCE_ARRAYS", True)
+        assert native.use_array_engine() is True
+
+    def test_warmup_is_noop_without_numba(self, monkeypatch):
+        if native.HAVE_NUMBA:
+            pytest.skip("numba present; warmup compiles for real")
+        monkeypatch.setattr(native, "_WARMED", False)
+        assert native.warmup_jit() is False
+
+    def test_warmup_runs_once(self, monkeypatch):
+        if not native.HAVE_NUMBA:
+            pytest.skip("warmup only compiles under numba")
+        monkeypatch.setattr(native, "_WARMED", False)
+        assert native.warmup_jit() is True
+        assert native.warmup_jit() is False  # already warm
+
+
+class TestDistancesParity:
+    def test_multi_source_matches_flat(self, engine_mode):
+        for g in _graphs(101, 8):
+            csr = shared_csr(g)
+            srcs = [0, g.n - 1]
+            expect = flat.flat_multi_source_distances(csr, srcs)
+            got = native.native_multi_source_distances(csr, srcs)
+            assert list(got) == list(expect)
+
+    def test_cutoff_is_inclusive(self, engine_mode):
+        for g in _graphs(102, 6):
+            csr = shared_csr(g)
+            expect = flat.flat_multi_source_distances(csr, [0], cutoff=4.0)
+            got = native.native_multi_source_distances(csr, [0], cutoff=4.0)
+            assert list(got) == list(expect)
+
+    def test_spt_arrays_match_flat(self, engine_mode):
+        # Equal-distance ties may legitimately differ between
+        # substrates, so compare distances only (as the scipy tests do).
+        for g in _graphs(103, 6):
+            csr = shared_csr(g)
+            ed, _ = flat.flat_spt_arrays(csr, g.n - 1)
+            gd, _ = native.native_spt_arrays(csr, g.n - 1)
+            assert gd == ed
+
+
+class TestBoundedAStarParity:
+    def test_unconstrained_matches_flat(self, engine_mode):
+        for g in _graphs(104, 10):
+            csr = shared_csr(g)
+            expect = flat.flat_bounded_astar_path(csr, 0, g.n - 1, None, INF)
+            got = native.native_bounded_astar_path(csr, 0, g.n - 1, None, INF)
+            assert got == expect
+
+    def test_blocked_banned_and_bound(self, engine_mode):
+        rng = random.Random(105)
+        for g in _graphs(105, 10):
+            csr = shared_csr(g)
+            blocked = [rng.randrange(g.n)]
+            banned = [rng.randrange(g.n)]
+            for bound in (3.0, 7.0, INF):
+                fi, ni = {}, {}
+                expect = flat.flat_bounded_astar_path(
+                    csr, 0, g.n - 1, None, bound,
+                    blocked=blocked, banned_first_hops=banned,
+                    initial_distance=1.5, info=fi, collect_dists=True,
+                )
+                got = native.native_bounded_astar_path(
+                    csr, 0, g.n - 1, None, bound,
+                    blocked=blocked, banned_first_hops=banned,
+                    initial_distance=1.5, info=ni, collect_dists=True,
+                )
+                assert got == expect
+                assert ni["pruned"] == fi["pruned"]
+                assert ni.get("tail_dists") == fi.get("tail_dists")
+
+    def test_stats_counters_match_flat(self, engine_mode):
+        for g in _graphs(106, 6):
+            csr = shared_csr(g)
+            sf, sn = SearchStats(), SearchStats()
+            flat.flat_bounded_astar_path(csr, 0, g.n - 1, None, INF, stats=sf)
+            native.native_bounded_astar_path(csr, 0, g.n - 1, None, INF, stats=sn)
+            assert sn.nodes_settled == sf.nodes_settled
+            assert sn.edges_relaxed == sf.edges_relaxed
+
+    def test_callable_heuristic_delegates_to_flat(self, engine_mode):
+        g = _graphs(107, 1)[0]
+        csr = shared_csr(g)
+        h = lambda v: 0.0  # noqa: E731 — callable cannot cross the JIT boundary
+        expect = flat.flat_bounded_astar_path(csr, 0, g.n - 1, h, INF)
+        got = native.native_bounded_astar_path(csr, 0, g.n - 1, h, INF)
+        assert got == expect
+
+
+class TestIncrementalTreeParity:
+    def _trees(self, g):
+        csr = shared_csr(g)
+        dests = frozenset({g.n - 1, g.n // 2})
+        f = FlatIncrementalSPT(csr, 0, None, dests)
+        nt = native.NativeIncrementalSPT(csr, 0, None, dests)
+        return csr, dests, f, nt
+
+    def test_build_initial_and_grow(self, engine_mode):
+        for g in _graphs(108, 8):
+            _, _, f, nt = self._trees(g)
+            target = g.n - 1
+            a = f.build_initial(target)
+            b = nt.build_initial(target)
+            assert a == b
+            for tau in (2.0, 5.0, INF):
+                f.grow(tau)
+                nt.grow(tau)
+                assert len(f) == len(nt)
+                for v in range(g.n):
+                    assert (v in f) == (v in nt)
+                    assert f.distance(v) == nt.distance(v)
+            assert f.num_settled_destinations == nt.num_settled_destinations
+            fd, fdist = f.dest_arrays()
+            nd, ndist = nt.dest_arrays()
+            assert sorted(fd.tolist()) == sorted(nd.tolist())
+            assert sorted(fdist.tolist()) == sorted(ndist.tolist())
+            f.close()
+            nt.close()
+
+
+class TestBatchCompSP:
+    class _Sub:
+        """Minimal stand-in for a Subspace: prefix + banned + weight."""
+
+        def __init__(self, prefix, banned=frozenset(), weight=0.0):
+            self.prefix = tuple(prefix)
+            self.banned = banned
+            self.prefix_weight = weight
+
+    def test_stops_after_first_hit(self, engine_mode):
+        g = _graphs(109, 1, min_nodes=8)[0]
+        csr = shared_csr(g)
+        reachable = flat.flat_multi_source_distances(csr, [0])
+        goal = max(range(g.n), key=lambda v: (reachable[v] < INF, v))
+        # Three identical requests with an infinite budget: the first
+        # must hit (goal reachable), so exactly one outcome comes back.
+        pairs = [(self._Sub((0,)), INF)] * 3
+        outcomes = native.native_batch_compsp(csr, goal, pairs)
+        assert len(outcomes) == 1
+        assert outcomes[0].path is not None
+
+    def test_runs_through_pruned_misses(self, engine_mode):
+        g = _graphs(110, 1, min_nodes=8)[0]
+        csr = shared_csr(g)
+        dist = flat.flat_multi_source_distances(csr, [0])
+        goal = max(range(g.n), key=lambda v: (dist[v] < INF, dist[v]))
+        assert dist[goal] < INF
+        tiny = dist[goal] / 4 if dist[goal] > 0 else 0.25
+        # Too-small budgets are pruned misses → speculation continues;
+        # the final infinite budget hits and terminates the batch.
+        pairs = [
+            (self._Sub((0,)), tiny),
+            (self._Sub((0,)), tiny),
+            (self._Sub((0,)), INF),
+        ]
+        stats = SearchStats()
+        outcomes = native.native_batch_compsp(csr, goal, pairs, stats=stats)
+        assert len(outcomes) == 3
+        assert outcomes[0].path is None and outcomes[0].pruned
+        assert outcomes[2].path is not None
+        assert stats.native_kernel_calls == 3
+
+    def test_clocked_outcomes_carry_timestamps(self, engine_mode):
+        g = _graphs(111, 1)[0]
+        csr = shared_csr(g)
+        taus = []
+        pairs = [(self._Sub((0,)), INF)]
+        outcomes = native.native_batch_compsp(
+            csr, 0 if g.n == 1 else g.n - 1, pairs, grow=taus.append,
+            clocked=True,
+        )
+        assert taus == [INF]
+        out = outcomes[0]
+        assert out.t0 is not None and out.t1 is not None and out.t1 >= out.t0
+        assert out.g0 is not None and out.g1 is not None
+
+
+class TestMegaKernelBatch:
+    def test_tree_batch_matches_generic_loop(self, engine_mode):
+        """The single-call ``_batch_test_kernel`` path must agree with
+        the per-request python loop on identical request schedules."""
+        if not native.use_array_engine():
+            pytest.skip("mega kernel needs the array engine")
+        for g in _graphs(112, 6, min_nodes=8, max_nodes=14):
+            csr = shared_csr(g)
+            dests = frozenset({g.n - 1})
+            t1 = native.NativeIncrementalSPT(csr, 0, None, dests)
+            t2 = native.NativeIncrementalSPT(csr, 0, None, dests)
+            if t1.build_initial(g.n - 1) is None:
+                t1.close()
+                t2.close()
+                continue
+            t2.build_initial(g.n - 1)
+            rcsr = csr.reverse()
+            sub = TestBatchCompSP._Sub((g.n - 1,))
+            pairs = [(sub, 2.0), (sub, 4.0), (sub, INF)]
+            mega = t1.batch_test(rcsr, 0, pairs, SearchStats())
+            generic = native.native_batch_compsp(
+                rcsr, 0, pairs, h=t2.h, stats=SearchStats(), grow=t2.grow
+            )
+            assert len(mega) == len(generic)
+            for a, b in zip(mega, generic):
+                assert a.path == b.path
+                assert a.length == b.length
+                assert a.pruned == b.pruned
+                assert a.tail_dists == b.tail_dists
+            t1.close()
+            t2.close()
+
+
+class TestSolverWarmup:
+    def test_native_solver_warms_at_init_not_per_query(self, monkeypatch):
+        """Satellite: JIT compilation is charged to warm-up, never to a
+        query phase.  The solver must call ``warmup_jit`` exactly once,
+        at construction."""
+        from repro.core.kpj import KPJSolver
+        from repro.graph.categories import CategoryIndex
+        from repro.obs.metrics import MetricsRegistry
+
+        calls = []
+        monkeypatch.setattr(native, "warmup_jit", lambda: calls.append(1))
+        g = _graphs(113, 1, min_nodes=6)[0]
+        cats = CategoryIndex({"T": (g.n - 1,)})
+        reg = MetricsRegistry()
+        solver = KPJSolver(g, cats, landmarks=2, kernel="native", metrics=reg)
+        assert calls == [1]
+        assert "warmup" in reg.phases
+        solver.top_k(0, category="T", k=2)
+        solver.top_k(0, category="T", k=2)
+        assert calls == [1]  # queries never re-warm
+
+    def test_dict_solver_never_warms(self, monkeypatch):
+        from repro.core.kpj import KPJSolver
+        from repro.graph.categories import CategoryIndex
+
+        calls = []
+        monkeypatch.setattr(native, "warmup_jit", lambda: calls.append(1))
+        g = _graphs(114, 1, min_nodes=6)[0]
+        KPJSolver(g, CategoryIndex({"T": (g.n - 1,)}), landmarks=2)
+        assert calls == []
+
+    def test_pool_warm_cache_warms_native_solver(self, monkeypatch):
+        from repro.core.kpj import KPJSolver
+        from repro.graph.categories import CategoryIndex
+        from repro.server.pool import BatchQuery, _warm_cache
+
+        calls = []
+        g = _graphs(115, 1, min_nodes=6)[0]
+        solver = KPJSolver(
+            g, CategoryIndex({"T": (g.n - 1,)}), landmarks=2, kernel="native"
+        )
+        monkeypatch.setattr(native, "warmup_jit", lambda: calls.append(1))
+        _warm_cache(solver, [BatchQuery(source=0, category="T", k=2)])
+        assert calls == [1]
+
+
+class TestDispatchCounters:
+    def test_native_dispatch_counter_surfaces_in_metrics(self):
+        from repro.core.kpj import KPJSolver
+        from repro.graph.categories import CategoryIndex
+        from repro.obs.metrics import MetricsRegistry
+
+        g = _graphs(116, 1, min_nodes=8)[0]
+        reg = MetricsRegistry()
+        solver = KPJSolver(
+            g, CategoryIndex({"T": (g.n - 1, g.n - 2)}), landmarks=2,
+            kernel="native", metrics=reg,
+        )
+        solver.top_k(0, category="T", k=3, algorithm="iter-bound-spti")
+        assert reg.counters.get("kernel_dispatch_native", 0) > 0
+        assert "kernel_dispatch_dict" not in reg.counters

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.pathing.kernels import KERNELS
 
 
 class TestParser:
@@ -161,7 +162,7 @@ class TestKernelAndStatsFlags:
 
     def test_query_kernels_agree(self, capsys):
         outputs = []
-        for kernel in ("dict", "flat"):
+        for kernel in KERNELS:
             assert main(
                 [
                     "query", "--dataset", "SJ", "--source", "10",
