@@ -17,7 +17,8 @@ invocation either:
 
 * ``--update`` — appends one trajectory entry per workload (git SHA,
   UTC date, per-phase p50/p95 across the workload's queries,
-  total-query percentiles, and a checksum of every returned path) to
+  total-query percentiles, the per-phase **work counters** of the §3g
+  taxonomy, and a checksum of every returned path) to
   ``benchmarks/results/BENCH_trajectory.json``;
 * ``--check`` (the default) — re-measures each workload and compares
   it against the **latest committed entry with the same protocol**:
@@ -27,7 +28,12 @@ invocation either:
   silently computes different answers is worse than a slow one).
   A workload with no committed baseline yet is reported and skipped.
   Whatever the mode, all kernels must return the **same** checksum as
-  each other — cross-kernel divergence fails immediately.  On failure
+  each other — cross-kernel divergence fails immediately.  Every run
+  additionally writes ``results/work_counter_deltas.md`` — the work
+  counters of each workload against its committed baseline (reported,
+  never gated: counters are deterministic, so a delta is an
+  algorithmic change to review, not noise; ``kpj report`` renders the
+  same story from the committed trajectory).  On failure
   the offending run's span timeline is written to
   ``results/regression_failure.trace.json`` (Chrome trace-event JSON
   — the CI perf-gate job uploads it as an artifact) and the process
@@ -59,6 +65,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.bench.trajectory import (  # noqa: E402
+    accumulate_work,
+    render_work_deltas,
+)
 from repro.core.kpj import KPJSolver  # noqa: E402
 from repro.datasets.registry import road_network  # noqa: E402
 from repro.obs.tracing import (  # noqa: E402
@@ -70,6 +80,10 @@ from repro.obs.tracing import (  # noqa: E402
 RESULTS_DIR = Path(__file__).parent / "results"
 TRAJECTORY = RESULTS_DIR / "BENCH_trajectory.json"
 FAILURE_TRACE = RESULTS_DIR / "regression_failure.trace.json"
+#: Work-counter delta tables vs baseline, one section per workload —
+#: written on every run; the CI perf-gate job uploads it as an
+#: artifact so counter drift is reviewable even when latency passes.
+WORK_DELTAS = RESULTS_DIR / "work_counter_deltas.md"
 
 #: p50 growth beyond this factor fails the gate.
 THRESHOLD = 1.25
@@ -118,11 +132,14 @@ def _percentiles(values_ms: list[float]) -> dict[str, float]:
     return {"p50_ms": statistics.median(ordered), "p95_ms": ordered[p95_at]}
 
 
-def run_workload(spec: dict = PROTOCOL) -> tuple[dict, str, list[dict]]:
+def run_workload(spec: dict = PROTOCOL) -> tuple[dict, str, list[dict], dict]:
     """Measure one pinned workload.
 
     Returns ``(per-phase percentiles, paths checksum, last-rep trace
-    snapshots)`` — the snapshots back the failure artifact.
+    snapshots, work block)`` — the snapshots back the failure
+    artifact; the work block is the workload's summed rep-0 work
+    counters grouped per phase (deterministic, so one rep suffices —
+    the work-parity fuzz invariant pins them across kernels).
     """
     dataset = road_network(spec["dataset"])
     solver = KPJSolver(
@@ -142,6 +159,7 @@ def run_workload(spec: dict = PROTOCOL) -> tuple[dict, str, list[dict]]:
     checksum = hashlib.sha256()
     per_phase: dict[str, list[float]] = {}
     traces: list[dict] = []
+    work: dict = {}
     for source in spec["sources"]:
         best: dict[str, float] = {}
         last_trace: dict | None = None
@@ -158,6 +176,7 @@ def run_workload(spec: dict = PROTOCOL) -> tuple[dict, str, list[dict]]:
                     best[name] = ms
             last_trace = result.trace
             if rep == 0:
+                accumulate_work(work, result.stats)
                 for path in result.paths:
                     checksum.update(
                         f"{source}:{path.length:.9f}:{path.nodes}".encode()
@@ -167,11 +186,11 @@ def run_workload(spec: dict = PROTOCOL) -> tuple[dict, str, list[dict]]:
             per_phase.setdefault(name, []).append(ms)
 
     phases = {name: _percentiles(values) for name, values in per_phase.items()}
-    return phases, checksum.hexdigest(), traces
+    return phases, checksum.hexdigest(), traces, work
 
 
 def make_entry(spec: dict = PROTOCOL) -> tuple[dict, list[dict]]:
-    phases, checksum, traces = run_workload(spec)
+    phases, checksum, traces, work = run_workload(spec)
     entry = {
         "sha": _git_sha(),
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -179,6 +198,7 @@ def make_entry(spec: dict = PROTOCOL) -> tuple[dict, list[dict]]:
         "protocol": spec,
         "reps": REPS,
         "phases": phases,
+        "work": work,
         "paths_checksum": checksum,
     }
     return entry, traces
@@ -280,6 +300,21 @@ def main(argv: list[str] | None = None) -> int:
         for kernel, digest in sorted(checksums.items()):
             print(f"  {kernel}: {digest[:16]}…", file=sys.stderr)
         return 1
+
+    # Work-counter delta artifact, written in every mode: the counters
+    # are exact and deterministic, so any drift against the committed
+    # baseline is an algorithmic change worth reviewing even when the
+    # latency gate passes.  Reported, never gated.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    sections = [
+        render_work_deltas(entry, baseline_for(trajectory, entry["protocol"]))
+        for entry, _ in measured
+    ]
+    WORK_DELTAS.write_text(
+        "# Work-counter deltas vs committed baseline\n\n"
+        + "\n\n".join(sections) + "\n"
+    )
+    print(f"work-counter delta table -> {WORK_DELTAS}")
 
     if args.update:
         RESULTS_DIR.mkdir(exist_ok=True)

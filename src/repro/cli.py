@@ -8,6 +8,7 @@ Subcommands::
     kpj bench    --figure fig7 [--queries 3]
     kpj metrics  --workload workload.json [--trace-out traces/]
     kpj trace    --dataset CAL --source 12 --category Lake --out t.json
+    kpj report   [--trajectory benchmarks/results/BENCH_trajectory.json]
     kpj fuzz     --seed 0 --cases 1000 [--shrink] [--self-check]
 
 ``query`` answers one KPJ query on a named dataset and prints the
@@ -33,6 +34,18 @@ inline; ``metrics --workload W --trace-out DIR`` additionally writes
 one Chrome trace file per query of the workload; ``explain --tree``
 prints the same subspace-tree reconstruction from the ``SearchTrace``
 narration.
+
+Work-attribution surfaces (DESIGN.md §3g): ``--log FILE`` on
+``query``/``batch`` appends one JSON event per query (stable query id,
+latency, non-zero work counters) and ``--slow-ms`` additionally dumps
+any threshold-crossing query's full trace + metrics to a file next to
+the log; ``--profile FILE`` wraps the run in :mod:`cProfile` and
+writes pstats data; ``--memory`` starts tracemalloc and records
+per-phase allocation attribution plus process/pool byte gauges;
+``trace --folded FILE`` writes the span timeline in folded-stack
+flamegraph format; ``report`` renders the committed perf trajectory
+(``benchmarks/results/BENCH_trajectory.json``) — latency history plus
+work-counter deltas — as markdown.
 
 ``fuzz`` runs the differential fuzzing harness (:mod:`repro.fuzz`):
 seeded random instances cross-checked over every registry algorithm ×
@@ -108,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record spans and print the span tree + subspace report",
     )
+    _add_obs_flags(query)
 
     batch = sub.add_parser(
         "batch", help="answer a query workload, optionally in parallel"
@@ -148,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="emit the aggregate metrics report with latency percentiles",
     )
+    _add_obs_flags(batch)
 
     sub.add_parser("datasets", help="list datasets (Table 1)")
 
@@ -275,7 +290,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the span tree and subspace report",
     )
+    trace.add_argument(
+        "--folded",
+        default=None,
+        metavar="FILE",
+        help="also write the spans in folded-stack flamegraph format",
+    )
+
+    report = sub.add_parser(
+        "report", help="render the perf trajectory + work deltas as markdown"
+    )
+    report.add_argument(
+        "--trajectory",
+        default="benchmarks/results/BENCH_trajectory.json",
+        help="trajectory file (default: benchmarks/results/BENCH_trajectory.json)",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the markdown here instead of stdout",
+    )
     return parser
+
+
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """The work-attribution flags shared by ``query`` and ``batch``."""
+    sub_parser.add_argument(
+        "--log",
+        default=None,
+        metavar="FILE",
+        help="append one JSON event per query to FILE (structured query log)",
+    )
+    sub_parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="with --log: dump trace+metrics of queries at/over MS "
+        "next to the log file",
+    )
+    sub_parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="run under cProfile and write pstats data to FILE",
+    )
+    sub_parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="record tracemalloc phase attribution and memory gauges",
+    )
 
 
 def _print_stats(stats) -> None:
@@ -302,18 +367,82 @@ def _print_trace_report(trace: dict) -> None:
         print(report.render())
 
 
+def _obs_wiring(args: argparse.Namespace):
+    """Query logger + memory telemetry from the shared obs flags.
+
+    Returns ``(query_log, memory)`` (either may be ``None``); raises
+    :class:`ValueError` on an invalid flag combination — callers print
+    the message and exit 2.
+    """
+    if args.slow_ms is not None and args.log is None:
+        raise ValueError("--slow-ms requires --log")
+    qlog = None
+    if args.log:
+        from repro.obs.log import QueryLogger
+
+        qlog = QueryLogger(path=args.log, slow_ms=args.slow_ms)
+    mem = None
+    if args.memory:
+        from repro.obs.memory import MemoryTelemetry
+
+        mem = MemoryTelemetry().start()
+    return qlog, mem
+
+
+def _profiled(path: str, fn, *args, **kwargs):
+    """Run ``fn`` under :mod:`cProfile`, writing pstats data to ``path``."""
+    import cProfile
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(fn, *args, **kwargs)
+    finally:
+        profiler.dump_stats(path)
+        print(
+            f"# profile -> {path} (inspect: python -m pstats {path})",
+            file=sys.stderr,
+        )
+
+
+def _print_memory(reg) -> None:
+    """Byte accounting for ``--memory`` runs without a full metrics report.
+
+    Gauges carry the peaks (RSS, tracemalloc, pool sizes); counters
+    carry the per-phase net allocations (``mem_<phase>_alloc_bytes``).
+    """
+    rows = {
+        name: value
+        for source in (reg.gauges, reg.counters)
+        for name, value in source.items()
+        if name.endswith("_bytes")
+    }
+    print("memory:")
+    if not rows:
+        print("  (no memory gauges recorded)")
+        return
+    width = max(len(name) for name in rows)
+    for name, value in sorted(rows.items()):
+        print(f"  {name:<{width}}  {int(value)}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = road_network(args.dataset)
     if args.source < 0 or args.source >= dataset.n:
         print(f"source must be in [0, {dataset.n})", file=sys.stderr)
         return 2
+    try:
+        qlog, mem = _obs_wiring(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     reg = None
-    if args.metrics:
+    if args.metrics or args.memory or args.slow_ms is not None:
         from repro.obs.metrics import MetricsRegistry
 
         reg = MetricsRegistry()
     tracer = None
-    if args.trace:
+    if args.trace or args.slow_ms is not None:
+        # Slow dumps embed the trace, so slow-logging implies tracing.
         from repro.obs.tracing import SpanTracer
 
         tracer = SpanTracer()
@@ -324,10 +453,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         metrics=reg,
         tracer=tracer,
+        query_log=qlog,
+        memory=mem,
     )
-    result = solver.top_k(
-        args.source, category=args.category, k=args.k, algorithm=args.algorithm
-    )
+    try:
+        if args.profile:
+            result = _profiled(
+                args.profile,
+                solver.top_k,
+                args.source,
+                category=args.category,
+                k=args.k,
+                algorithm=args.algorithm,
+            )
+        else:
+            result = solver.top_k(
+                args.source,
+                category=args.category,
+                k=args.k,
+                algorithm=args.algorithm,
+            )
+    finally:
+        if mem is not None:
+            mem.stop()
+        if qlog is not None:
+            qlog.close()
     if args.metrics == "json":
         import json
 
@@ -357,6 +507,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         _print_stats(result.stats)
     if args.metrics == "text":
         print(reg.render_text())
+    if args.memory and args.metrics is None:
+        _print_memory(reg)
     if args.trace and result.trace is not None:
         _print_trace_report(result.trace)
     return 0
@@ -394,6 +546,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"({args.algorithm}, {args.kernel} kernel); "
         f"{len(doc['traceEvents'])} spans -> {args.out}"
     )
+    if args.folded:
+        from repro.obs.tracing import folded_stacks
+
+        try:
+            with open(args.folded, "w") as fh:
+                fh.write(folded_stacks(result.trace) + "\n")
+        except OSError as exc:
+            print(f"cannot write {args.folded!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"folded stacks -> {args.folded}")
     if args.tree:
         _print_trace_report(result.trace)
     return 0
@@ -424,8 +586,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if source < 0 or source >= dataset.n:
             print(f"source {source} must be in [0, {dataset.n})", file=sys.stderr)
             return 2
+    try:
+        qlog, mem = _obs_wiring(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     reg = None
-    if args.metrics:
+    if args.metrics or args.memory or args.slow_ms is not None:
         from repro.obs.metrics import MetricsRegistry
 
         reg = MetricsRegistry()
@@ -435,12 +602,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         landmarks=args.landmarks,
         kernel=args.kernel,
         metrics=reg,
+        query_log=qlog,
+        memory=mem,
     )
     if reg is not None:
         # The registry captured landmark_build during construction;
         # detach it so run_batch installs its own per-batch registry
         # (the aggregate arrives via the ``metrics=`` merge — leaving
-        # it attached would double-count sequential batches).
+        # it attached would double-count sequential batches).  The
+        # query logger and memory telemetry stay attached: pool workers
+        # inherit them through the fork, each appending whole lines to
+        # the same log file (O_APPEND keeps lines intact).
         solver.metrics = None
     queries = [
         BatchQuery(
@@ -453,9 +625,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ]
     total = SearchStats() if args.stats else None
     start = time.perf_counter()
-    results = solver.solve_batch(
-        queries, workers=args.workers, stats=total, metrics=reg
-    )
+    try:
+        if args.profile:
+            results = _profiled(
+                args.profile,
+                solver.solve_batch,
+                queries,
+                workers=args.workers,
+                stats=total,
+                metrics=reg,
+            )
+        else:
+            results = solver.solve_batch(
+                queries, workers=args.workers, stats=total, metrics=reg
+            )
+    finally:
+        if mem is not None:
+            mem.stop()
+        if qlog is not None:
+            qlog.close()
     elapsed = time.perf_counter() - start
     if args.metrics == "json":
         import json
@@ -501,6 +689,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         _print_stats(total)
     if args.metrics == "text":
         print(reg.render_text())
+    if args.memory and args.metrics is None:
+        _print_memory(reg)
     return 0
 
 
@@ -756,6 +946,40 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.trajectory import render_trajectory_report
+
+    try:
+        with open(args.trajectory) as fh:
+            trajectory = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"cannot read trajectory {args.trajectory!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not isinstance(trajectory, list):
+        print(
+            f"trajectory {args.trajectory!r} is not a list of entries",
+            file=sys.stderr,
+        )
+        return 2
+    doc = render_trajectory_report(trajectory)
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                fh.write(doc)
+        except OSError as exc:
+            print(f"cannot write {args.out!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"report -> {args.out}")
+    else:
+        print(doc, end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -777,6 +1001,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -310,6 +310,8 @@ class FlatIncrementalSPT:
         self._dist[source] = 0.0
         self._stamp[source] = self._gen
         self._heap: list[tuple[float, int]] = [(self._key(source, 0.0), source)]
+        if stats is not None:
+            stats.heap_pushes += 1
 
     def _key(self, v: int, dv: float) -> float:
         """Alg. 7's queue key ``ds(v) + lb(v, V_T)``."""
@@ -350,12 +352,14 @@ class FlatIncrementalSPT:
         dest_dists = self._dest_dists
         before = len(settled_order)
         relaxed = 0
+        pops = 0
         found: int | None = None
         while heap:
             key, u = heap[0]
             if key > tau:
                 break
             heappop(heap)
+            pops += 1
             if stamp[u] == settled_tag:
                 continue
             du = dist[u]
@@ -396,6 +400,10 @@ class FlatIncrementalSPT:
         if stats is not None:
             stats.nodes_settled += len(settled_order) - before
             stats.edges_relaxed += relaxed
+            # Pushes pair 1:1 with counted relaxations in this loop
+            # (the initial source push is counted in ``__init__``).
+            stats.heap_pushes += relaxed
+            stats.heap_pops += pops
         if self._metrics is not None and len(heap) > self._heap_peak:
             # The queue peak at phase boundaries — one check per grow
             # call, not per settled node.

@@ -32,6 +32,7 @@ from repro.core.stats import SearchStats
 from repro.core.subspace import Subspace, compute_lower_bound, divide
 from repro.graph.digraph import DiGraph
 from repro.graph.virtual import QueryGraph
+from repro.obs.log import current_query_id
 from repro.pathing.astar import astar_path, bounded_astar_path
 from repro.pathing.kernels import active_kernel
 
@@ -204,11 +205,15 @@ def iter_bound_search(
     # heap can't remove mid-structure, so they are discarded lazily at
     # every pop/peek.  Empty (and never consulted) unless batching.
     cancelled: set[int] = set()
-    search_span = (
-        tracer.begin("iter_bound", cat="search", bound_kind=bound_kind)
-        if traced
-        else None
-    )
+    search_span = None
+    if traced:
+        search_span = tracer.begin("iter_bound", cat="search", bound_kind=bound_kind)
+        # Join key to the structured query log: the solver stamps its
+        # id in a contextvar so the driver tags its span without a
+        # signature change (see repro.obs.log).
+        query_id = current_query_id.get()
+        if query_id is not None:
+            search_span["attrs"]["query_id"] = query_id
     if initial is None:
         stats.shortest_path_computations += 1
         if clocked:
@@ -253,6 +258,14 @@ def iter_bound_search(
     n_pruned = 0
     n_tests = 0
     n_test_failures = 0
+    # Verdict tallies — one per tested subspace, identical under the
+    # sequential and the batched schedule (the batch stops at the first
+    # deviation, so executed verdicts match the sequential order).
+    n_test_hits = 0
+    n_test_misses = 0
+    n_test_retires = 0
+    n_batch_rounds = 0
+    n_batch_slots = 0
     t_test = t_div = t_grow = 0.0
     n_div = n_grow = 0
     queue_peak = 1
@@ -355,6 +368,8 @@ def iter_bound_search(
                     [(s, t) for s, t, _b, _tm in requests], clocked
                 )
                 executed = len(outcomes)
+                n_batch_rounds += 1
+                n_batch_slots += executed
                 # Unexecuted requests go back exactly as popped; their
                 # speculative re-entries are cancelled.
                 for j in range(executed, len(requests)):
@@ -373,6 +388,7 @@ def iter_bound_search(
                         if out.t0 is not None:
                             t_test += out.t1 - out.t0
                     if out.path is not None:
+                        n_test_hits += 1
                         r = spec[i]
                         if r is not None:
                             cancelled.add(r[1])
@@ -393,6 +409,7 @@ def iter_bound_search(
                         continue
                     n_test_failures += 1
                     if not out.pruned or term_i:
+                        n_test_retires += 1
                         r = spec[i]
                         if r is not None:
                             cancelled.add(r[1])
@@ -402,6 +419,7 @@ def iter_bound_search(
                             )
                         n_pruned += 1
                         continue
+                    n_test_misses += 1
                     if trace is not None:
                         trace.record("test-miss", sub_i.prefix, bound_i, tau=tau_i)
                     if spec[i] is None:
@@ -441,6 +459,7 @@ def iter_bound_search(
                 if timed:
                     t_test += t1 - t0
             if hit is not None:
+                n_test_hits += 1
                 tail, length = hit
                 if trace is not None:
                     trace.record(
@@ -467,6 +486,7 @@ def iter_bound_search(
                 continue
             n_test_failures += 1
             if not test_info["pruned"] or tau >= tau_limit:
+                n_test_retires += 1
                 if trace is not None:
                     trace.record("retire", subspace.prefix, bound, tau=tau)
                 if traced:
@@ -480,6 +500,7 @@ def iter_bound_search(
                     tracer.end(it_span, verdict="retire")
                 n_pruned += 1  # provably empty — retire it
                 continue
+            n_test_misses += 1
             if trace is not None:
                 trace.record("test-miss", subspace.prefix, bound, tau=tau)
             if traced:
@@ -500,6 +521,11 @@ def iter_bound_search(
         stats.subspaces_pruned += n_pruned
         stats.lb_tests += n_tests
         stats.lb_test_failures += n_test_failures
+        stats.lb_test_hits += n_test_hits
+        stats.lb_test_misses += n_test_misses
+        stats.lb_test_retires += n_test_retires
+        stats.batch_rounds += n_batch_rounds
+        stats.batch_slots_filled += n_batch_slots
         if timed:
             if n_tests:
                 metrics.observe_phase("test_lb", t_test, n_tests)

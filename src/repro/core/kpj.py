@@ -40,6 +40,7 @@ Algorithm registry names (paper names in parentheses):
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Sequence
@@ -57,6 +58,8 @@ from repro.graph.categories import CategoryIndex
 from repro.graph.digraph import DiGraph
 from repro.graph.virtual import QueryGraph, build_query_graph
 from repro.landmarks.index import ZERO_BOUNDS, LandmarkIndex, TargetBounds
+from repro.obs.log import QueryLogger, current_query_id, new_query_id
+from repro.obs.memory import MemoryTelemetry, graph_pool_bytes
 from repro.obs.metrics import SEARCH_PHASES, MetricsRegistry, maybe_phase
 from repro.obs.tracing import SpanTracer, maybe_span
 from repro.pathing.kernels import KERNELS, use_kernel
@@ -199,6 +202,20 @@ class KPJSolver:
         tracer whose snapshot rides back on ``QueryResult.trace`` and
         is absorbed here.  Same discipline as ``metrics``: ``None``
         keeps every hot site at a single ``is None`` check.
+    query_log:
+        Optional :class:`~repro.obs.log.QueryLogger`.  When set, every
+        query emits one JSON event (query id, algorithm/kernel,
+        latency, non-zero work counters), and queries over the
+        logger's ``slow_ms`` threshold additionally dump their full
+        trace + metrics snapshots to a file — see DESIGN.md §3g.
+    memory:
+        Optional :class:`~repro.obs.memory.MemoryTelemetry`.  When set
+        (and started), the ``prepare`` and ``search`` phases record
+        tracemalloc attribution into the per-query registry, and each
+        query stamps the process/pool byte gauges
+        (``process_peak_rss_bytes``, ``flat_scratch_pool_bytes``,
+        ``native_scratch_pool_bytes``).  Requires ``metrics`` to be
+        set for the numbers to land anywhere.
 
     Example
     -------
@@ -219,6 +236,8 @@ class KPJSolver:
         prepared_cache_size: int = 32,
         metrics: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
+        query_log: QueryLogger | None = None,
+        memory: MemoryTelemetry | None = None,
     ) -> None:
         if not graph.frozen:
             graph.freeze()
@@ -236,6 +255,8 @@ class KPJSolver:
         self.prepared_cache_size = prepared_cache_size
         self.metrics = metrics
         self.tracer = tracer
+        self.query_log = query_log
+        self.memory = memory
         self._prepared_cache: OrderedDict[tuple, PreparedCategory] = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
@@ -479,6 +500,11 @@ class KPJSolver:
                 f"unknown algorithm {algorithm!r}; choose one of: {known}"
             ) from None
         stats = SearchStats()
+        # Stable query id: stamped on the result, the root span, and
+        # every log event; readable below the solver via the
+        # current_query_id contextvar (fork-safe — see repro.obs.log).
+        query_id = new_query_id()
+        qid_token = current_query_id.set(query_id)
         # Fresh per-query registry: its snapshot rides back on the
         # result (picklable across the pool's fork boundary) and is
         # merged into the solver-lifetime registry afterwards.
@@ -491,11 +517,43 @@ class KPJSolver:
             qtr = SpanTracer(capacity=self.tracer.capacity)
         root_span = (
             qtr.begin("query", cat="query", algorithm=algorithm,
-                      kernel=self.kernel, k=k)
+                      kernel=self.kernel, k=k, query_id=query_id)
             if qtr is not None
             else None
         )
+        try:
+            return self._solve_inner(
+                sources, category, destinations, k, algorithm, alpha, prepared,
+                target_bounds, t_start, stats, query_id, qreg, qtr, root_span,
+            )
+        finally:
+            current_query_id.reset(qid_token)
+
+    def _mem_phase(self, name: str, qreg: MetricsRegistry | None):
+        if self.memory is None:
+            return nullcontext()
+        return self.memory.phase(name, qreg)
+
+    def _solve_inner(
+        self,
+        sources: tuple[int, ...],
+        category: str | None,
+        destinations: Sequence[int] | None,
+        k: int,
+        algorithm: str,
+        alpha: float,
+        prepared: "PreparedCategory | None",
+        target_bounds: Callable[[int], float] | None,
+        t_start: float,
+        stats: SearchStats,
+        query_id: str,
+        qreg: MetricsRegistry | None,
+        qtr: SpanTracer | None,
+        root_span: dict | None,
+    ) -> QueryResult:
+        run = ALGORITHMS[algorithm]
         with maybe_phase(qreg, "prepare"), \
+                self._mem_phase("prepare", qreg), \
                 maybe_span(qtr, "prepare", cat="phase") as prep_span:
             cache_hits_before = stats.prepared_cache_hits
             if prepared is None:
@@ -536,7 +594,8 @@ class KPJSolver:
             tracer=qtr,
         )
         t_search = perf_counter()
-        with use_kernel(self.kernel), maybe_span(qtr, "search", cat="search"):
+        with use_kernel(self.kernel), self._mem_phase("search", qreg), \
+                maybe_span(qtr, "search", cat="search"):
             raw = run(qg, k, ctx)
         search_s = perf_counter() - t_search
         paths = [Path(length=p.length, nodes=qg.strip(p.nodes)) for p in raw]
@@ -557,6 +616,13 @@ class KPJSolver:
                 calls = getattr(stats, f"{kern}_kernel_calls")
                 if calls:
                     qreg.inc(f"kernel_dispatch_{kern}", calls)
+            if self.memory is not None:
+                # Byte gauges: idle scratch buffers pooled on the base
+                # graph's CSR snapshot and on the G_Q overlay's.
+                overlay = prepared._gq_graph if prepared is not None else None
+                for key, value in graph_pool_bytes(self.graph, overlay).items():
+                    qreg.set_gauge(key, value)
+                self.memory.record_gauges(qreg)
             snapshot = qreg.as_dict()
             self.metrics.merge(qreg)
         trace_snapshot = None
@@ -564,14 +630,26 @@ class KPJSolver:
             qtr.end(root_span, paths=len(paths))
             trace_snapshot = qtr.as_dict()
             self.tracer.absorb(trace_snapshot)
-        return QueryResult(
+        result = QueryResult(
             paths=paths,
             algorithm=algorithm,
             stats=stats,
             elapsed_ms=elapsed_ms,
             metrics=snapshot,
             trace=trace_snapshot,
+            query_id=query_id,
         )
+        if self.query_log is not None:
+            self.query_log.log_query(
+                result,
+                query_id=query_id,
+                kernel=self.kernel,
+                sources=sources,
+                category=category,
+                destinations=len(prepared.destinations),
+                k=k,
+            )
+        return result
 
 
 class PreparedCategory:

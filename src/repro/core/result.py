@@ -74,6 +74,11 @@ class QueryResult:
         workers ship it back with the result and
         :func:`~repro.server.pool.run_batch` re-roots it under the
         batch span.
+    query_id:
+        Stable id minted by the solver for this query
+        (:func:`~repro.obs.log.new_query_id`), the join key between
+        log events, slow-query dumps, trace trees, and batch reports.
+        A plain string, so it too survives the fork boundary.
     """
 
     paths: list[Path]
@@ -82,6 +87,7 @@ class QueryResult:
     elapsed_ms: float = 0.0
     metrics: dict | None = None
     trace: dict | None = None
+    query_id: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready representation including stats counters."""
@@ -95,6 +101,8 @@ class QueryResult:
             out["metrics"] = self.metrics
         if self.trace is not None:
             out["trace"] = self.trace
+        if self.query_id is not None:
+            out["query_id"] = self.query_id
         return out
 
     @property

@@ -82,6 +82,8 @@ class IncrementalSPT:
             (target_bounds(self._source), self._source)
         ]
         self._stats = stats
+        if stats is not None:
+            stats.heap_pushes += 1
 
     # ------------------------------------------------------------------
     # Growth
@@ -92,6 +94,8 @@ class IncrementalSPT:
         settled = self.settled
         while heap:
             _, u = heappop(heap)
+            if self._stats is not None:
+                self._stats.heap_pops += 1
             if u in settled:
                 continue
             du = self._dist[u]
@@ -112,6 +116,7 @@ class IncrementalSPT:
                     heappush(heap, (nd + bounds(v), v))
                     if self._stats is not None:
                         self._stats.edges_relaxed += 1
+                        self._stats.heap_pushes += 1
             return u
         return None
 
@@ -144,6 +149,8 @@ class IncrementalSPT:
                 return
             if u in self.settled:
                 heappop(heap)
+                if self._stats is not None:
+                    self._stats.heap_pops += 1
                 continue
             self._settle_next()
 

@@ -12,7 +12,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["SearchStats"]
+__all__ = ["SearchStats", "WORK_PARITY_FIELDS"]
+
+#: Counters expected to agree **exactly** across the dict, flat, and
+#: native kernels for any one query (the fuzz harness asserts this on
+#: the pinned corpus).  Excluded by design: the per-substrate
+#: ``*_kernel_calls`` dispatch counters (they record *which* kernel
+#: ran), and ``batch_rounds`` / ``batch_slots_filled`` (the batched
+#: multi-source CompSP exists only on the native tier — the dict and
+#: flat engines always run the sequential schedule, so their occupancy
+#: is zero by construction).  ``nodes_settled`` is additionally
+#: excluded for ``da-spt`` only: its full-SPT build counts settles on
+#: the dict substrate but not on the scipy/compiled array paths (see
+#: :func:`repro.pathing.spt.build_spt_to_target`).
+WORK_PARITY_FIELDS: tuple[str, ...] = (
+    "shortest_path_computations",
+    "lower_bound_computations",
+    "lb_tests",
+    "lb_test_failures",
+    "lb_test_hits",
+    "lb_test_misses",
+    "lb_test_retires",
+    "nodes_settled",
+    "edges_relaxed",
+    "heap_pushes",
+    "heap_pops",
+    "spt_nodes",
+    "subspaces_created",
+    "subspaces_pruned",
+    "prepared_cache_hits",
+    "prepared_cache_misses",
+)
 
 
 @dataclass
@@ -29,9 +59,33 @@ class SearchStats:
     lb_tests / lb_test_failures:
         ``TestLB`` invocations and how many returned "bound holds"
         (i.e. pruned without producing a path).
+    lb_test_hits / lb_test_misses / lb_test_retires:
+        Verdict tallies from the iteratively bounding driver: a *hit*
+        found the subspace's shortest path within the current bound, a
+        *retire* proved the subspace exhausted (or past the length
+        limit), and a *miss* merely re-queued it at a larger ``τ``.
+        Counted once per tested subspace regardless of whether the
+        sequential or the batched schedule executed the test, so they
+        are kernel-parity counters.
     nodes_settled / edges_relaxed:
         Priority-queue pops with exact distances / successful edge
         relaxations, across every kernel of the query.
+    heap_pushes / heap_pops:
+        Priority-queue traffic of the *query-scoped* search kernels:
+        the constrained bounded-A*/Dijkstra bodies (dict, flat, and
+        native alike) and the incremental ``SPT_I`` trees.  Includes
+        lazy-deletion pops of stale entries.  Whole-graph
+        preprocessing sweeps (landmark selection, full backward SPTs,
+        scipy/compiled SSSP) and driver-level queues (the subspace
+        priority queue, deviation candidate heaps) are *not* counted —
+        they are either kernel-asymmetric by construction or not heap
+        kernels at all.
+    batch_rounds / batch_slots_filled:
+        Occupancy of the batched multi-source ``CompSP`` tier: rounds
+        dispatched and request slots actually executed (the batch stops
+        at the first result that deviates from the sequential
+        schedule, so filled ≤ ``BATCH_TESTS`` × rounds).  Native-only;
+        zero on the dict and flat engines.
     spt_nodes:
         Final size of the SPT index built for the query (full SPT for
         DA-SPT, ``SPT_P`` or ``SPT_I`` for the indexed variants).
@@ -57,8 +111,15 @@ class SearchStats:
     lower_bound_computations: int = 0
     lb_tests: int = 0
     lb_test_failures: int = 0
+    lb_test_hits: int = 0
+    lb_test_misses: int = 0
+    lb_test_retires: int = 0
     nodes_settled: int = 0
     edges_relaxed: int = 0
+    heap_pushes: int = 0
+    heap_pops: int = 0
+    batch_rounds: int = 0
+    batch_slots_filled: int = 0
     spt_nodes: int = 0
     subspaces_created: int = 0
     subspaces_pruned: int = 0

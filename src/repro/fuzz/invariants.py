@@ -21,7 +21,13 @@ flags any disagreement:
   untouched (integer weights make the comparison exact);
 * **weight-scaling invariance** — multiplying every weight by a
   power of two (exact in floating point) scales every length by the
-  same factor and nothing else.
+  same factor and nothing else;
+* **work parity** — the work counters of
+  :data:`repro.core.stats.WORK_PARITY_FIELDS` (relaxations, heap
+  pushes/pops, settled nodes, TestLB verdicts, …) agree *exactly*
+  across the dict, flat, and native kernels: the three substrates
+  claim to run the same algorithm, so they must do the same work,
+  not just return the same lengths.
 
 All checks use the public solver API, so they also cover the prepared
 cache, the kernels, and the query-graph overlay on the way through.
@@ -34,12 +40,13 @@ from typing import Sequence
 
 from repro.core.kpj import DEFAULT_ALGORITHM, KPJSolver
 from repro.core.result import QueryResult
+from repro.core.stats import WORK_PARITY_FIELDS
 from repro.fuzz.generators import FuzzCase, simplified
 from repro.fuzz.oracles import TOL, _yen_lengths, build_solver, run_query
 from repro.pathing.kernels import KERNELS
 from repro.validation import validate_result
 
-__all__ = ["check_invariants", "INVARIANTS"]
+__all__ = ["check_invariants", "work_parity_failures", "INVARIANTS"]
 
 #: Invariant names, in the order they run (for reporting).
 INVARIANTS = (
@@ -49,7 +56,52 @@ INVARIANTS = (
     "gq_transform",
     "permutation",
     "weight_scaling",
+    "work_parity",
 )
+
+#: Counters that are kernel-asymmetric for ``da-spt`` only: its full
+#: backward SPT counts settles on the dict substrate but the
+#: scipy/compiled array builds have no per-node counter hook (see
+#: :func:`repro.pathing.spt.build_spt_to_target`).
+_DA_SPT_ASYMMETRIC = frozenset({"nodes_settled"})
+
+
+def _parity_fields(algorithm: str) -> tuple[str, ...]:
+    if algorithm == "da-spt":
+        return tuple(f for f in WORK_PARITY_FIELDS if f not in _DA_SPT_ASYMMETRIC)
+    return WORK_PARITY_FIELDS
+
+
+def work_parity_failures(
+    case: FuzzCase,
+    algorithm: str = DEFAULT_ALGORITHM,
+    kernels: Sequence[str] = KERNELS,
+) -> list[str]:
+    """Assert the cross-kernel work-counter parity for one case.
+
+    Runs the query once per kernel and compares the
+    :data:`~repro.core.stats.WORK_PARITY_FIELDS` snapshots pairwise
+    against the first kernel's.  Returns one failure message per
+    diverging counter (empty list = exact parity).
+    """
+    fields = _parity_fields(algorithm)
+    baseline: dict[str, int] | None = None
+    baseline_kernel = ""
+    failures: list[str] = []
+    for kernel in kernels:
+        solver = build_solver(case, kernel, cached=True)
+        result = run_query(solver, case, algorithm)
+        snapshot = {f: getattr(result.stats, f) for f in fields}
+        if baseline is None:
+            baseline, baseline_kernel = snapshot, kernel
+            continue
+        for name, value in snapshot.items():
+            if value != baseline[name]:
+                failures.append(
+                    f"work_parity/{algorithm}: {name} diverges — "
+                    f"{baseline_kernel}={baseline[name]} {kernel}={value}"
+                )
+    return failures
 
 _K_DELTA = 3
 _SCALE = 4.0  # power of two: exact in floating point
@@ -104,6 +156,7 @@ def check_invariants(
     """
     failures: list[str] = []
     rng = random.Random(case.seed if case.seed is not None else 0)
+    failures.extend(work_parity_failures(case, algorithm, kernels))
     base_lengths: tuple[float, ...] | None = None
     for kernel in kernels:
         where = f"invariant/{algorithm}/{kernel}"

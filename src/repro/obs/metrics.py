@@ -87,7 +87,12 @@ class Histogram:
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        Bucket bounds are **inclusive** (Prometheus ``le``):
+        ``bisect_left`` sends a value exactly equal to a bound into
+        that bound's bucket, not the next one.
+        """
         self.counts[bisect_left(self.buckets, value)] += 1
         self.total += 1
         self.sum += value
@@ -95,9 +100,25 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (0 < q <= 1), interpolated in-bucket.
 
-        Returns ``nan`` when empty.  Observations in the overflow
-        bucket are reported at the largest finite bound (the honest
-        answer a fixed-bucket histogram can give).
+        Pinned edge-case behaviour (tested explicitly — treat any
+        change as a breaking one):
+
+        * ``q`` outside ``(0, 1]`` raises :class:`ValueError` — in
+          particular **q = 0 raises** rather than returning a minimum
+          (a fixed-bucket histogram has no honest minimum to give);
+        * an **empty histogram** returns ``nan`` for every valid ``q``;
+        * observations **above the top bucket** land in the implicit
+          ``+Inf`` overflow bucket, and any quantile that falls there
+          is reported at the largest *finite* bound — the honest
+          answer a fixed-bucket histogram can give (``inf`` when the
+          bucket layout is empty, i.e. overflow is the only bucket);
+        * a rank landing exactly on a bucket's cumulative boundary
+          reports that bucket's **upper** bound (``q = 1.0`` with a
+          single in-bucket observation reports the bucket's ``le``,
+          never the next bucket's);
+        * in-bucket interpolation is linear from the previous bound
+          (0 for the first bucket — observations are assumed
+          non-negative, as all recorded series here are).
         """
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile must be in (0, 1], got {q}")

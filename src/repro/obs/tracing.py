@@ -60,6 +60,7 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "render_tree",
+    "folded_stacks",
     "phase_durations",
     "DEFAULT_CAPACITY",
 ]
@@ -426,6 +427,50 @@ def render_tree(trace: "SpanTracer | Mapping", limit: int | None = None) -> str:
     if snapshot.get("evicted"):
         lines.append(f"({snapshot['evicted']} spans evicted by the ring buffer)")
     return "\n".join(lines)
+
+
+def folded_stacks(trace: "SpanTracer | Mapping") -> str:
+    """Export a tracer (or snapshot) in folded-stack flamegraph format.
+
+    One line per unique span ancestry — ``query;search;test_lb 1234``
+    — where the value is the stack's aggregate **self time** in
+    integer microseconds (span duration minus child durations), the
+    number ``flamegraph.pl``, speedscope, and inferno all consume
+    directly.  Spans whose parent was evicted from the ring buffer
+    root their own stack, mirroring :func:`render_tree`.  Every span
+    contributes at least 1µs so sub-microsecond leaves stay visible in
+    the rendered graph; lines are sorted for deterministic output.
+    """
+    spans = sorted(
+        _snapshot(trace).get("spans", []), key=lambda s: (s["ts"], s["id"])
+    )
+    if not spans:
+        return ""
+    by_id = {s["id"]: s for s in spans}
+    child_time: dict[int, float] = {}
+    for s in spans:
+        parent = s["parent"]
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + max(
+                float(s["dur"]), 0.0
+            )
+
+    def stack_of(span: dict) -> str:
+        names: list[str] = []
+        node: dict | None = span
+        while node is not None:
+            names.append(str(node["name"]).replace(";", "_"))
+            parent = node["parent"]
+            node = by_id.get(parent) if parent is not None else None
+        return ";".join(reversed(names))
+
+    totals: dict[str, int] = {}
+    for s in spans:
+        self_time = max(float(s["dur"]), 0.0) - child_time.get(s["id"], 0.0)
+        micros = max(1, int(round(max(self_time, 0.0) * 1e6)))
+        stack = stack_of(s)
+        totals[stack] = totals.get(stack, 0) + micros
+    return "\n".join(f"{stack} {value}" for stack, value in sorted(totals.items()))
 
 
 def phase_durations(trace: "SpanTracer | Mapping") -> dict[str, float]:

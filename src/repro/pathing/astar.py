@@ -162,8 +162,12 @@ def bounded_astar_path(
             info["pruned"] = True
         return None
     heap: list[tuple[float, int]] = [(start_f, source)]
+    if stats is not None:
+        stats.heap_pushes += 1
     while heap:
         _, u = heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
         if u in settled:
             continue
         settled.add(u)
@@ -190,4 +194,5 @@ def bounded_astar_path(
                 heappush(heap, (estimate, v))
                 if stats is not None:
                     stats.edges_relaxed += 1
+                    stats.heap_pushes += 1
     return None

@@ -230,8 +230,12 @@ def constrained_shortest_path(
         else set(banned_first_hops)
     )
     heap: list[tuple[float, int]] = [(initial_distance, source)]
+    if stats is not None:
+        stats.heap_pushes += 1
     while heap:
         d, u = heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
         if u in settled:
             continue
         settled.add(u)
@@ -252,6 +256,7 @@ def constrained_shortest_path(
                 heappush(heap, (nd, v))
                 if stats is not None:
                     stats.edges_relaxed += 1
+                    stats.heap_pushes += 1
     return None
 
 

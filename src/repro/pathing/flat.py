@@ -94,6 +94,14 @@ class FlatScratch:
         self.gen += 1
         return self.gen
 
+    def nbytes(self) -> int:
+        """Nominal buffer footprint: 8 bytes per slot across the three
+        ``O(n)`` lists (pointer-array cost; boxed-object overhead of
+        the CPython floats/ints is deliberately excluded so the figure
+        is deterministic).  Feeds the memory-telemetry pool gauges.
+        """
+        return self.n * 3 * 8
+
 
 def acquire_scratch(csr: CSRGraph) -> FlatScratch:
     """Check a scratch buffer out of the snapshot's pool (or make one)."""
@@ -415,6 +423,7 @@ def flat_bounded_astar_path(
     scratch = acquire_scratch(csr)
     settled_count = 0
     relaxed_count = 0
+    pop_count = 0
     bound_pruned = False  # batched into info["pruned"] in the finally
     try:
         gen = scratch.begin()
@@ -440,6 +449,7 @@ def flat_bounded_astar_path(
         heap: list[tuple[float, int]] = [(start_f, source)]
         while heap:
             _, u = heappop(heap)
+            pop_count += 1
             if stamp[u] == settled_gen:
                 continue
             stamp[u] = settled_gen
@@ -486,3 +496,7 @@ def flat_bounded_astar_path(
         if stats is not None:
             stats.nodes_settled += settled_count
             stats.edges_relaxed += relaxed_count
+            # Every push is either the initial source push or one of
+            # the counted relaxations, so pushes = relaxed + 1 here.
+            stats.heap_pushes += relaxed_count + 1
+            stats.heap_pops += pop_count

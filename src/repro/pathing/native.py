@@ -231,8 +231,10 @@ def _bounded_astar_kernel(
     path within ``bound`` (with ``pruned`` reporting whether the bound
     rejected any relaxation).  On a hit the node sequence is written to
     ``path_out[:path_len]`` and, with ``collect``, the settled prefix
-    distances to ``dists_out[:path_len]``.  Settled/relaxed totals are
-    added into ``counters[0]``/``counters[1]``.
+    distances to ``dists_out[:path_len]``.  Work totals are added into
+    ``counters``: settled → ``[0]``, relaxed → ``[1]``, heap pushes →
+    ``[2]``, heap pops → ``[3]`` (the same sites the dict and flat
+    kernels count, so the totals are cross-kernel parity-exact).
     """
     if target == source:
         path_out[0] = source
@@ -257,8 +259,11 @@ def _bounded_astar_kernel(
     _heap_push(hp, hn, hs, start_f, source)
     settled = 0
     relaxed = 0
+    pushes = 1
+    pops = 0
     while hs[0] > 0:
         _f, u = _heap_pop(hp, hn, hs)
+        pops += 1
         if stamp[u] == settled_tag:
             continue
         stamp[u] = settled_tag
@@ -286,6 +291,8 @@ def _bounded_astar_kernel(
                     dists_out[i] = dist[path_out[i]]
             counters[0] += settled
             counters[1] += relaxed
+            counters[2] += pushes
+            counters[3] += pops
             return plen, pruned, du
         at_source = u == source
         for e in range(indptr[u], indptr[u + 1]):
@@ -315,8 +322,11 @@ def _bounded_astar_kernel(
                 stamp[v] = gen
                 _heap_push(hp, hn, hs, estimate, v)
                 relaxed += 1
+                pushes += 1
     counters[0] += settled
     counters[1] += relaxed
+    counters[2] += pushes
+    counters[3] += pops
     return 0, pruned, 0.0
 
 
@@ -344,21 +354,26 @@ def _spti_settle_kernel(
 ):
     """Alg. 7's settle loop, mirroring ``FlatIncrementalSPT._settle_until``.
 
-    ``state`` is ``[gen, n_settled, n_dest, dest_dirty]``; returns
-    ``(found, relaxed)`` where ``found`` is the settled ``target`` (or
-    ``-1``).  Settling writes exact distances into ``h`` in place —
-    the vector doubles as the reverse search's heuristic.
+    ``state`` is ``[gen, n_settled, n_dest, dest_dirty, heap_pushes,
+    heap_pops, _, _]`` (pushes/pops are lifetime totals over the
+    tree's queue, the same sites the dict and flat trees count);
+    returns ``(found, relaxed)`` where ``found`` is the settled
+    ``target`` (or ``-1``).  Settling writes exact distances into
+    ``h`` in place — the vector doubles as the reverse search's
+    heuristic.
     """
     gen = state[0]
     settled_tag = -gen
     n_settled = state[1]
     n_dest = state[2]
     relaxed = 0
+    pops = 0
     found = -1
     while hs[0] > 0:
         if hp[0] > tau:
             break
         _key, u = _heap_pop(hp, hn, hs)
+        pops += 1
         if stamp[u] == settled_tag:
             continue
         du = dist[u]
@@ -391,6 +406,8 @@ def _spti_settle_kernel(
             break
     state[1] = n_settled
     state[2] = n_dest
+    state[4] += relaxed  # pushes pair 1:1 with relaxations here
+    state[5] += pops
     return found, relaxed
 
 
@@ -452,7 +469,9 @@ def _batch_test_kernel(
     request therefore belongs to the exact sequential τ-schedule and
     no work is ever discarded.  Returns the executed count; per-request
     results land in the output arrays.  ``counters`` accumulates
-    ``[search_settled, search_relaxed, unused, tree_relaxed]``.
+    ``[search_settled, search_relaxed, search_pushes, search_pops,
+    tree_relaxed]``; the tree's own push/pop totals accrue in
+    ``t_state[4]``/``t_state[5]``.
     """
     nreq = srcs.shape[0]
     executed = 0
@@ -482,7 +501,7 @@ def _batch_test_kernel(
                 dest_nodes,
                 dest_dists,
             )
-            counters[3] += grelax
+            counters[4] += grelax
         blocked = blocked_flat[blocked_ptr[r] : blocked_ptr[r + 1]]
         banned = banned_flat[banned_ptr[r] : banned_ptr[r + 1]]
         plen, was_pruned, length = _bounded_astar_kernel(
@@ -557,7 +576,29 @@ class NativeScratch:
         self.hs = np.zeros(1, dtype=np.int64)
         self.path = np.empty(n + 1, dtype=np.int64)
         self.dists = np.empty(n + 1, dtype=np.float64)
-        self.counters = np.zeros(4, dtype=np.int64)
+        # Work-counter accumulator handed to the kernels:
+        # [settled, relaxed, heap_pushes, heap_pops, tree_relaxed, …];
+        # callers zero the slots they read before each kernel call.
+        self.counters = np.zeros(8, dtype=np.int64)
+
+    def nbytes(self) -> int:
+        """Exact ndarray footprint of this scratch set, in bytes.
+
+        Feeds the memory-telemetry pool gauges
+        (:func:`repro.obs.memory.scratch_pool_bytes`).
+        """
+        return (
+            self.dist.nbytes
+            + self.parent.nbytes
+            + self.stamp.nbytes
+            + self.gen.nbytes
+            + self.hp.nbytes
+            + self.hn.nbytes
+            + self.hs.nbytes
+            + self.path.nbytes
+            + self.dists.nbytes
+            + self.counters.nbytes
+        )
 
 
 def acquire_native_scratch(csr: CSRGraph) -> NativeScratch:
@@ -694,8 +735,7 @@ def native_bounded_astar_path(
     indptr, indices, weights = csr.typed_arrays()
     scratch = acquire_native_scratch(csr)
     try:
-        scratch.counters[0] = 0
-        scratch.counters[1] = 0
+        scratch.counters[0:4] = 0
         plen, pruned, length = _bounded_astar_kernel(
             indptr,
             indices,
@@ -723,6 +763,8 @@ def native_bounded_astar_path(
         if stats is not None:
             stats.nodes_settled += int(scratch.counters[0])
             stats.edges_relaxed += int(scratch.counters[1])
+            stats.heap_pushes += int(scratch.counters[2])
+            stats.heap_pops += int(scratch.counters[3])
         if info is not None and pruned:
             info["pruned"] = True
         if plen == 0:
@@ -914,7 +956,10 @@ class NativeIncrementalSPT:
         sc = self._scratch
         gen = int(sc.gen[0]) + 1
         sc.gen[0] = gen
-        self._state = np.zeros(4, dtype=np.int64)
+        # [gen, n_settled, n_dest, dest_dirty, heap_pushes, heap_pops,
+        # _, _] — the push/pop slots are lifetime totals folded into
+        # stats as deltas by _settle/batch_test.
+        self._state = np.zeros(8, dtype=np.int64)
         self._state[0] = gen
         self.h = np.full(n, INF)
         self._settled_order = np.empty(n, dtype=np.int64)
@@ -933,10 +978,14 @@ class NativeIncrementalSPT:
         sc.hs[0] = 0
         key = 0.0 + self._tb[source] if self._use_tb else 0.0
         _heap_push(sc.hp, sc.hn, sc.hs, key, source)
+        if stats is not None:
+            stats.heap_pushes += 1
 
     def _settle(self, target: int, tau: float) -> int:
         sc = self._scratch
         before = int(self._state[1])
+        pushes_before = int(self._state[4])
+        pops_before = int(self._state[5])
         found, relaxed = _spti_settle_kernel(
             self._indptr,
             self._indices,
@@ -964,6 +1013,8 @@ class NativeIncrementalSPT:
         if self._stats is not None:
             self._stats.nodes_settled += int(self._state[1]) - before
             self._stats.edges_relaxed += int(relaxed)
+            self._stats.heap_pushes += int(self._state[4]) - pushes_before
+            self._stats.heap_pops += int(self._state[5]) - pops_before
         if self._metrics is not None and int(sc.hs[0]) > self._heap_peak:
             self._heap_peak = int(sc.hs[0])
         return int(found)
@@ -1075,9 +1126,11 @@ class NativeIncrementalSPT:
         path_flat = np.empty(nreq * n1, dtype=np.int64)
         path_ptr = np.zeros(nreq + 1, dtype=np.int64)
         dists_flat = np.empty(nreq * n1, dtype=np.float64)
-        counters = np.zeros(4, dtype=np.int64)
+        counters = np.zeros(8, dtype=np.int64)
         sc = self._scratch
         settled_before = int(self._state[1])
+        pushes_before = int(self._state[4])
+        pops_before = int(self._state[5])
         search = acquire_native_scratch(rcsr)
         try:
             executed = _batch_test_kernel(
@@ -1135,7 +1188,13 @@ class NativeIncrementalSPT:
             stats.nodes_settled += (
                 int(self._state[1]) - settled_before + int(counters[0])
             )
-            stats.edges_relaxed += int(counters[3]) + int(counters[1])
+            stats.edges_relaxed += int(counters[4]) + int(counters[1])
+            stats.heap_pushes += (
+                int(self._state[4]) - pushes_before + int(counters[2])
+            )
+            stats.heap_pops += (
+                int(self._state[5]) - pops_before + int(counters[3])
+            )
         if self._metrics is not None and int(sc.hs[0]) > self._heap_peak:
             self._heap_peak = int(sc.hs[0])
         outcomes: list[CompSPOutcome] = []
@@ -1202,7 +1261,7 @@ def warmup_jit() -> bool:
     t_dist = np.full(n, INF)
     t_parent = np.full(n, -1, dtype=np.int64)
     t_stamp = np.zeros(n, dtype=np.int64)
-    t_state = np.array([1, 0, 0, 0], dtype=np.int64)
+    t_state = np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=np.int64)
     t_hp = np.empty(8, dtype=np.float64)
     t_hn = np.empty(8, dtype=np.int64)
     t_hs = np.zeros(1, dtype=np.int64)
@@ -1224,7 +1283,7 @@ def warmup_jit() -> bool:
         indptr, indices, weights, 0, 1, hvec, True, INF, 0.0,
         _EMPTY_IDX, _EMPTY_IDX, s_dist, s_parent, s_stamp, s_gen,
         hp, hn, hs, np.empty(n + 1, dtype=np.int64),
-        np.empty(n + 1, dtype=np.float64), True, np.zeros(4, dtype=np.int64),
+        np.empty(n + 1, dtype=np.float64), True, np.zeros(8, dtype=np.int64),
     )
     _batch_test_kernel(
         indptr, indices, weights, h, True,
@@ -1240,6 +1299,6 @@ def warmup_jit() -> bool:
         np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64),
         np.zeros(1, dtype=np.float64), np.empty(n + 1, dtype=np.int64),
         np.zeros(2, dtype=np.int64), np.empty(n + 1, dtype=np.float64),
-        np.zeros(4, dtype=np.int64),
+        np.zeros(8, dtype=np.int64),
     )
     return True

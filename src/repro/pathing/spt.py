@@ -23,7 +23,13 @@ from typing import Callable, Sequence
 
 from repro.graph.digraph import DiGraph
 
-__all__ = ["ShortestPathTree", "build_spt_to_target", "PartialSPT", "build_partial_spt"]
+__all__ = [
+    "ShortestPathTree",
+    "build_spt_to_target",
+    "canonical_next_hops",
+    "PartialSPT",
+    "build_partial_spt",
+]
 
 INF = float("inf")
 
@@ -63,6 +69,42 @@ class ShortestPathTree:
         return self.dist[v] != INF
 
 
+def canonical_next_hops(graph: DiGraph, target: int, dist) -> list[int]:
+    """Deterministic tree successors recomputed from exact distances.
+
+    Every kernel's Dijkstra produces the same ``dist`` vector, but the
+    successor it records for a node is an accident of relaxation order
+    — with zero-weight or equal-weight ties the scipy/compiled builds
+    and the dict build pick different (equally shortest) trees, and
+    downstream consumers that branch on tree *shape* (DA-SPT's Pascoal
+    simplicity check) then do kernel-dependent amounts of work.  This
+    pass rebuilds ``next_hop`` as a pure function of
+    ``(graph, target, dist)``: nodes are finalised in ``(dist, id)``
+    order from the target outward, and each node adopts the
+    first-finalised successor among its tight edges (``dist[v] ==
+    w + dist[u]`` — exact, because every kernel computes ``dist[v]``
+    as that very sum for at least one edge).  Successors always point
+    at earlier-finalised nodes, so the tree is acyclic even across
+    zero-weight cycles, and identical for every kernel.
+    """
+    radj = graph.reverse_adjacency()
+    n = graph.n
+    next_hop = [-1] * n
+    done = [False] * n
+    heap: list[tuple[float, int]] = [(0.0, target)]
+    while heap:
+        d, u = heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v, w in radj[u]:
+            if not done[v] and next_hop[v] == -1 and dist[v] == d + w:
+                next_hop[v] = u
+                heappush(heap, (dist[v], v))
+    next_hop[target] = -1
+    return next_hop
+
+
 def build_spt_to_target(
     graph: DiGraph, target: int, stats=None, kernel: str | None = None
 ) -> ShortestPathTree:
@@ -78,6 +120,11 @@ def build_spt_to_target(
     produces the arrays with the compiled kernel
     (:func:`repro.pathing.native.native_spt_arrays`) under the same
     contract.
+
+    Whatever kernel ran, the successor pointers are normalised by
+    :func:`canonical_next_hops` so the returned *tree* — not just the
+    distance vector — is identical everywhere; work counters measured
+    downstream of the tree stay comparable across kernels.
     """
     from repro.pathing.kernels import resolve_kernel
 
@@ -88,22 +135,21 @@ def build_spt_to_target(
 
         if stats is not None:
             stats.native_kernel_calls += 1
-        dist, next_hop = native_spt_arrays(shared_csr(graph), target)
-        return ShortestPathTree(target, dist, next_hop)
+        dist, _ = native_spt_arrays(shared_csr(graph), target)
+        return ShortestPathTree(target, dist, canonical_next_hops(graph, target, dist))
     if chosen == "flat":
         from repro.graph.csr import shared_csr
         from repro.pathing.flat import flat_spt_arrays
 
         if stats is not None:
             stats.flat_kernel_calls += 1
-        dist, next_hop = flat_spt_arrays(shared_csr(graph), target)
-        return ShortestPathTree(target, dist, next_hop)
+        dist, _ = flat_spt_arrays(shared_csr(graph), target)
+        return ShortestPathTree(target, dist, canonical_next_hops(graph, target, dist))
     if stats is not None:
         stats.dict_kernel_calls += 1
     radj = graph.reverse_adjacency()
     n = graph.n
     dist = [INF] * n
-    next_hop = [-1] * n
     dist[target] = 0.0
     heap: list[tuple[float, int]] = [(0.0, target)]
     settled = [False] * n
@@ -118,9 +164,8 @@ def build_spt_to_target(
             nd = d + w
             if nd < dist[v]:
                 dist[v] = nd
-                next_hop[v] = u
                 heappush(heap, (nd, v))
-    return ShortestPathTree(target, dist, next_hop)
+    return ShortestPathTree(target, dist, canonical_next_hops(graph, target, dist))
 
 
 class PartialSPT:

@@ -37,6 +37,40 @@ __all__ = ["BatchQuery", "run_batch"]
 #: pool's lifetime; never used by the sequential path).
 _WORKER_SOLVER = None
 
+#: This process's worker index (0..workers-1), assigned by
+#: :func:`_init_worker` at pool start; ``None`` in the parent and on
+#: the sequential path.
+_WORKER_INDEX = None
+
+
+def _init_worker(counter) -> None:
+    """Pool initializer: claim the next worker index atomically.
+
+    ``multiprocessing.Pool`` does not expose a worker ordinal, so the
+    parent passes a shared counter and each worker takes a ticket
+    under its lock.  The index keys the per-worker metric tags that
+    make scheduling skew visible in ``kpj batch --metrics``.
+    """
+    global _WORKER_INDEX
+    with counter.get_lock():
+        _WORKER_INDEX = int(counter.value)
+        counter.value += 1
+
+
+@dataclass
+class _WorkerFailure:
+    """A query that raised, shipped back as a value instead of a raise.
+
+    Letting the exception propagate through ``imap`` would abort the
+    whole result stream and silently drop every other worker's
+    stats/metrics/trace snapshots; wrapping it lets
+    :func:`run_batch` merge the successful results first and re-raise
+    after (the failure still fails the batch — nothing is swallowed).
+    """
+
+    error: Exception
+    index: int | None = None
+
 
 @dataclass(frozen=True)
 class BatchQuery:
@@ -84,8 +118,23 @@ def _execute(solver, query: BatchQuery):
 
 
 def _worker_execute(query: BatchQuery):
-    """Pool worker body: run one query against the forked solver."""
-    return _execute(_WORKER_SOLVER, query)
+    """Pool worker body: run one query against the forked solver.
+
+    Successful results with a metrics snapshot are tagged with this
+    worker's ``worker_<i>_queries`` counter (merging the snapshots
+    sums the tags, so the parent-side registry shows how many queries
+    each worker actually answered).  Exceptions come back as
+    :class:`_WorkerFailure` values so sibling snapshots survive.
+    """
+    try:
+        result = _execute(_WORKER_SOLVER, query)
+    except Exception as exc:
+        return _WorkerFailure(error=exc, index=_WORKER_INDEX)
+    if result.metrics is not None and _WORKER_INDEX is not None:
+        counters = result.metrics["counters"]
+        key = f"worker_{_WORKER_INDEX}_queries"
+        counters[key] = counters.get(key, 0) + 1
+    return result
 
 
 def _warm_cache(solver, queries: Sequence[BatchQuery]) -> None:
@@ -184,6 +233,15 @@ def run_batch(
     share a timeline (the pool test asserts no timestamp inversions).
     If the solver has no tracer of its own, one (with the same
     sampling stride) is installed for the duration and removed after.
+
+    Pooled results are additionally tagged per worker: each query
+    snapshot carries a ``worker_<i>_queries`` counter, so the merged
+    registry shows how the workload actually spread across workers
+    (scheduling skew is invisible in aggregate timers alone).  A query
+    that raises still fails the batch with its original exception, but
+    only **after** the successful queries' stats/metrics/trace
+    snapshots have been merged — previously a single bad query dropped
+    every sibling's observability data on the floor.
     """
     global _WORKER_SOLVER
     batch = [_coerce(q) for q in queries]
@@ -227,7 +285,11 @@ def run_batch(
                     stats.prepared_cache_misses += after["misses"] - before["misses"]
                 _WORKER_SOLVER = solver
                 try:
-                    with ctx.Pool(processes=workers) as pool:
+                    with ctx.Pool(
+                        processes=workers,
+                        initializer=_init_worker,
+                        initargs=(ctx.Value("i", 0),),
+                    ) as pool:
                         chunk = max(1, len(batch) // (4 * workers))
                         results = list(
                             pool.imap(_worker_execute, batch, chunksize=chunk)
@@ -235,23 +297,39 @@ def run_batch(
                 finally:
                     _WORKER_SOLVER = None
         if results is None:
-            results = [_execute(solver, q) for q in batch]
+            results = []
+            for query in batch:
+                try:
+                    results.append(_execute(solver, query))
+                except Exception as exc:
+                    # Preserve the completed queries' snapshots; the
+                    # merge below runs before the failure re-raises.
+                    results.append(_WorkerFailure(error=exc))
+                    break
+        # A failed query must still fail the batch — but only after
+        # the successful results' observability snapshots are merged,
+        # so one bad query no longer blinds the whole batch.
+        failure = next((r for r in results if isinstance(r, _WorkerFailure)), None)
+        completed = [r for r in results if not isinstance(r, _WorkerFailure)]
         if stats is not None:
-            for result in results:
+            for result in completed:
                 stats.merge(result.stats)
         if metrics is not None:
-            for result in results:
+            for result in completed:
                 if result.metrics is not None:
                     metrics.merge(result.metrics)
         if tracer is not None:
             # Re-root every query tree (local or worker-recorded)
             # under the batch span *before* ending it, so the batch
             # span's interval covers all of its children.
-            for result in results:
+            for result in completed:
                 if result.trace is not None:
                     tracer.absorb(result.trace, parent=batch_span)
             tracer.end(batch_span)
             batch_span = None
+        if failure is not None:
+            raise failure.error
+        results = completed
     finally:
         if own_metrics:
             solver.metrics = None

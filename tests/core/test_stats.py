@@ -1,6 +1,8 @@
 """Unit tests for the SearchStats counters."""
 
-from repro.core.stats import SearchStats
+from dataclasses import fields
+
+from repro.core.stats import WORK_PARITY_FIELDS, SearchStats
 
 
 class TestSearchStats:
@@ -30,8 +32,15 @@ class TestSearchStats:
             "lower_bound_computations",
             "lb_tests",
             "lb_test_failures",
+            "lb_test_hits",
+            "lb_test_misses",
+            "lb_test_retires",
             "nodes_settled",
             "edges_relaxed",
+            "heap_pushes",
+            "heap_pops",
+            "batch_rounds",
+            "batch_slots_filled",
             "spt_nodes",
             "subspaces_created",
             "subspaces_pruned",
@@ -40,6 +49,19 @@ class TestSearchStats:
             "native_kernel_calls",
             "prepared_cache_hits",
             "prepared_cache_misses",
+        }
+
+    def test_parity_fields_are_real_fields(self):
+        names = {f.name for f in fields(SearchStats)}
+        assert set(WORK_PARITY_FIELDS) <= names
+        # The exclusions are exactly the dispatch counters and the
+        # native-only batch occupancy.
+        assert names - set(WORK_PARITY_FIELDS) == {
+            "dict_kernel_calls",
+            "flat_kernel_calls",
+            "native_kernel_calls",
+            "batch_rounds",
+            "batch_slots_filled",
         }
 
     def test_mutation(self):

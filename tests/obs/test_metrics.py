@@ -50,6 +50,59 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().quantile(1.5)
 
+    # The edge cases below pin the documented quantile contract
+    # (Histogram.quantile docstring); a behaviour change here is a
+    # breaking change, not a refactor.
+    def test_quantile_zero_raises_even_when_populated(self):
+        hist = Histogram((1.0,))
+        hist.observe(0.5)
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.5)
+
+    def test_quantile_empty_is_nan_for_every_valid_q(self):
+        hist = Histogram((1.0, 10.0))
+        for q in (1e-9, 0.5, 0.95, 1.0):
+            assert math.isnan(hist.quantile(q))
+
+    def test_quantile_all_overflow_reports_top_finite_bound(self):
+        # Every observation above the top bucket: all quantiles clamp
+        # to the largest finite bound, never inf, never the raw value.
+        hist = Histogram((1.0, 10.0))
+        for _ in range(5):
+            hist.observe(1e9)
+        for q in (0.01, 0.5, 1.0):
+            assert hist.quantile(q) == 10.0
+
+    def test_quantile_overflow_with_no_finite_buckets_is_inf(self):
+        hist = Histogram(())
+        hist.observe(42.0)
+        assert hist.quantile(0.5) == math.inf
+
+    def test_quantile_exact_boundary_rank_reports_upper_bound(self):
+        # One observation per bucket; q=0.5 ranks exactly at the first
+        # bucket's cumulative edge and must report that bucket's le.
+        hist = Histogram((1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        assert hist.quantile(0.5) == pytest.approx(1.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_q1_single_observation_stays_in_bucket(self):
+        # q=1.0 with all mass in one bucket interpolates to that
+        # bucket's upper bound — an off-by-one would report the next.
+        hist = Histogram((1.0, 10.0, 100.0))
+        hist.observe(5.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_first_bucket_interpolates_from_zero(self):
+        hist = Histogram((10.0,))
+        for _ in range(4):
+            hist.observe(1.0)
+        # Median of mass in [0, 10] interpolates from lo=0.
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+
     def test_unsorted_buckets_rejected(self):
         with pytest.raises(ValueError, match="sorted"):
             Histogram((5.0, 1.0))

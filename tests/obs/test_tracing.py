@@ -14,6 +14,7 @@ from repro.pathing.kernels import KERNELS
 from repro.obs.tracing import (
     SpanTracer,
     chrome_trace,
+    folded_stacks,
     maybe_span,
     phase_durations,
     render_tree,
@@ -175,6 +176,69 @@ class TestChromeExport:
         tracer = self._sample_tracer()
         totals = phase_durations(tracer)
         assert totals == {"test_lb": pytest.approx(0.5)}
+
+
+class TestFoldedStacks:
+    def _nested_tracer(self):
+        tracer = SpanTracer()
+        with tracer.span("query"):
+            with tracer.span("search"):
+                tracer.add("test_lb", 1.0, 1.4)
+                tracer.add("test_lb", 1.4, 1.7)
+        return tracer
+
+    def test_empty_trace(self):
+        assert folded_stacks({"spans": []}) == ""
+
+    def test_self_time_excludes_children(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            tracer.add("inner", 1.0, 2.0)
+        lines = dict(
+            line.rsplit(" ", 1) for line in folded_stacks(tracer).splitlines()
+        )
+        assert set(lines) == {"outer", "outer;inner"}
+        assert int(lines["outer;inner"]) == 1_000_000  # 1 s in µs
+        # outer's self time is its tiny bookkeeping, not the child's 1 s.
+        assert 0 < int(lines["outer"]) < 1_000_000
+
+    def test_same_stack_aggregates(self):
+        folded = folded_stacks(self._nested_tracer())
+        lines = dict(line.rsplit(" ", 1) for line in folded.splitlines())
+        # Both test_lb leaves fold into one line: 0.4 s + 0.3 s.
+        assert int(lines["query;search;test_lb"]) == pytest.approx(
+            700_000, abs=2
+        )
+
+    def test_sub_microsecond_spans_stay_visible(self):
+        tracer = SpanTracer()
+        tracer.add("blink", 1.0, 1.0 + 1e-9)
+        assert folded_stacks(tracer) == "blink 1"
+
+    def test_semicolons_in_names_escaped(self):
+        tracer = SpanTracer()
+        tracer.add("a;b", 1.0, 1.5)
+        (line,) = folded_stacks(tracer).splitlines()
+        assert line.startswith("a_b ")
+
+    def test_deterministic_and_sorted(self):
+        tracer = self._nested_tracer()
+        folded = folded_stacks(tracer)
+        assert folded == folded_stacks(tracer.as_dict())
+        stacks = [line.rsplit(" ", 1)[0] for line in folded.splitlines()]
+        assert stacks == sorted(stacks)
+
+    def test_traced_query_folds(self, sj):
+        result = make_solver(sj, tracer=SpanTracer()).top_k(
+            0, category="T2", k=3
+        )
+        folded = folded_stacks(result.trace)
+        stacks = {line.rsplit(" ", 1)[0] for line in folded.splitlines()}
+        assert any(s.startswith("query;search") for s in stacks)
+        # Every line is "<stack> <integer µs>" — the flamegraph contract.
+        for line in folded.splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert stack and int(value) >= 1
 
 
 class TestSolverIntegration:

@@ -60,6 +60,71 @@ class TestFullSPT:
         assert spt.distance(3) == 0.0
 
 
+class TestCanonicalTree:
+    """The SPT *tree* — not just the distances — is kernel-independent."""
+
+    def _tie_graph(self, seed: int) -> DiGraph:
+        # Small weight range with zeros allowed: maximises equal-length
+        # ties, the regime where relaxation order used to leak into the
+        # successor pointers.
+        rng = random.Random(seed)
+        n = rng.randint(6, 12)
+        g = DiGraph(n)
+        seen: set[tuple[int, int]] = set()
+        for _ in range(rng.randint(2 * n, 4 * n)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v or (u, v) in seen:
+                continue
+            seen.add((u, v))
+            g.add_edge(u, v, float(rng.randint(0, 2)))
+        return g.freeze()
+
+    def test_identical_across_kernels_under_ties(self):
+        for seed in range(51, 71):
+            g = self._tie_graph(seed)
+            target = g.n - 1
+            trees = {
+                kernel: build_spt_to_target(g, target, kernel=kernel)
+                for kernel in ("dict", "flat", "native")
+            }
+            dict_tree = trees["dict"]
+            for kernel in ("flat", "native"):
+                assert list(trees[kernel].dist) == list(dict_tree.dist), (seed, kernel)
+                assert trees[kernel].next_hop == dict_tree.next_hop, (seed, kernel)
+
+    def test_hops_are_tight(self):
+        g = self._tie_graph(99)
+        target = g.n - 1
+        spt = build_spt_to_target(g, target)
+        for v in range(g.n):
+            if v == target or spt.dist[v] == INF:
+                assert spt.next_hop[v] == -1 or v != target
+                continue
+            u = spt.next_hop[v]
+            assert u >= 0
+            assert spt.dist[v] == g.edge_weight(v, u) + spt.dist[u]
+
+    def test_zero_weight_cycle_paths_terminate(self):
+        # 0 <-> 1 at weight zero, both one zero hop from the target:
+        # a naive per-node argmin over tight edges could point 0 and 1
+        # at each other and loop forever in path_from.
+        g = DiGraph.from_edges(
+            3,
+            [
+                (0, 1, 0.0),
+                (1, 0, 0.0),
+                (0, 2, 0.0),
+                (1, 2, 0.0),
+            ],
+        )
+        for kernel in ("dict", "flat", "native"):
+            spt = build_spt_to_target(g, 2, kernel=kernel)
+            for v in range(3):
+                path = spt.path_from(v)
+                assert path is not None and path[-1] == 2
+                assert len(path) == len(set(path))
+
+
 class TestPartialSPT:
     def make_query(self, seed=31):
         rng = random.Random(seed)

@@ -265,6 +265,74 @@ class TestMetricsAggregation:
         assert all(r.elapsed_ms > 0 for r in results)
 
 
+def _worker_tag_total(metrics) -> tuple[int, set[str]]:
+    """Worker tags from a registry or a per-query snapshot mapping."""
+    counters = getattr(metrics, "counters", None)
+    if counters is None:
+        counters = (metrics or {}).get("counters", {})
+    tags = {
+        name: int(count)
+        for name, count in counters.items()
+        if name.startswith("worker_") and name.endswith("_queries")
+    }
+    return sum(tags.values()), set(tags)
+
+
+class TestWorkerAttribution:
+    def test_parallel_snapshots_carry_worker_index(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 8)
+        agg = MetricsRegistry()
+        results = solver.solve_batch(queries, workers=2, metrics=agg)
+        # Every query was answered by exactly one indexed worker...
+        total, names = _worker_tag_total(agg)
+        assert total == len(queries)
+        assert names <= {"worker_0_queries", "worker_1_queries"}
+        # ...and each per-query snapshot names exactly one worker.
+        for r in results:
+            per_query, per_names = _worker_tag_total(r.metrics)
+            assert per_query == 1 and len(per_names) == 1
+
+    def test_sequential_batches_are_untagged(self, sj_solver):
+        dataset, solver = sj_solver
+        agg = MetricsRegistry()
+        solver.solve_batch(_query_mix(dataset, 3), workers=1, metrics=agg)
+        assert _worker_tag_total(agg) == (0, set())
+
+
+class TestFailureMerge:
+    """A failing query must not discard completed queries' telemetry."""
+
+    def _mixed_batch(self, dataset, good: int) -> list[BatchQuery]:
+        queries = _query_mix(dataset, good)
+        queries.append(BatchQuery(source=0, category="NOPE", k=3))
+        return queries
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_completed_metrics_survive_a_failure(self, sj_solver, workers):
+        dataset, solver = sj_solver
+        agg = MetricsRegistry()
+        stats = SearchStats()
+        with pytest.raises(QueryError, match="NOPE"):
+            solver.solve_batch(
+                self._mixed_batch(dataset, 4),
+                workers=workers,
+                metrics=agg,
+                stats=stats,
+            )
+        # Sequential execution stops at the failure; the pool drains
+        # the whole batch.  Either way nothing completed is dropped:
+        # the four good queries precede the bad one, so all four land.
+        assert agg.counters["queries"] == 4
+        assert agg.histograms["query_latency_ms"].total == agg.counters["queries"]
+        assert stats.shortest_path_computations > 0
+
+    def test_failure_without_metrics_still_raises(self, sj_solver):
+        dataset, solver = sj_solver
+        with pytest.raises(QueryError, match="NOPE"):
+            solver.solve_batch(self._mixed_batch(dataset, 2), workers=2)
+
+
 @pytest.mark.slow
 def test_large_batch_identical_across_worker_counts(sj_solver):
     """200 queries, every worker count 1..4, identical fingerprints."""

@@ -440,3 +440,117 @@ class TestMetricsCommand:
         path = self.workload(tmp_path, queries=[])
         assert main(["metrics", "--workload", path]) == 2
         assert "no queries" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    """--log/--slow-ms/--profile/--memory, trace --folded, kpj report."""
+
+    QUERY = [
+        "query", "--dataset", "SJ", "--source", "10", "--category", "T2",
+        "--k", "3", "--landmarks", "4",
+    ]
+
+    def test_parser_defaults(self):
+        for head in (self.QUERY, ["batch", "--dataset", "SJ", "--category",
+                                  "T2", "--sources", "1"]):
+            args = build_parser().parse_args(head)
+            assert args.log is None and args.slow_ms is None
+            assert args.profile is None and args.memory is False
+
+    def test_slow_ms_requires_log(self, capsys):
+        assert main(self.QUERY + ["--slow-ms", "5"]) == 2
+        assert "--slow-ms requires --log" in capsys.readouterr().err
+
+    def test_query_log_round_trips(self, capsys, tmp_path):
+        from repro.obs.log import parse_query_log
+
+        log = tmp_path / "q.jsonl"
+        assert main(self.QUERY + ["--log", str(log)]) == 0
+        (event,) = parse_query_log(log.read_text())
+        assert event["kernel"] == "dict"
+        assert event["k"] == 3
+        assert event["paths"] == 3
+        assert "slow" not in event
+
+    def test_slow_dump_written_and_loadable(self, capsys, tmp_path):
+        from repro.obs.log import load_slow_query, parse_query_log
+
+        log = tmp_path / "q.jsonl"
+        assert main(self.QUERY + ["--log", str(log), "--slow-ms", "0"]) == 0
+        (event,) = parse_query_log(log.read_text())
+        assert event["slow"] is True
+        dump = load_slow_query(event["slow_dump"])
+        # --slow-ms implies metrics + tracing for a useful dump.
+        assert dump.metrics is not None and dump.trace is not None
+
+    def test_memory_prints_byte_accounting(self, capsys):
+        assert main(self.QUERY + ["--memory"]) == 0
+        out = capsys.readouterr().out
+        assert "memory:" in out
+        assert "process_peak_rss_bytes" in out
+        assert "mem_search_alloc_bytes" in out
+
+    def test_profile_writes_loadable_pstats(self, capsys, tmp_path):
+        import pstats
+
+        prof = tmp_path / "q.prof"
+        assert main(self.QUERY + ["--profile", str(prof)]) == 0
+        assert "profile ->" in capsys.readouterr().err
+        stats = pstats.Stats(str(prof))
+        assert stats.total_calls > 0
+
+    def test_batch_logs_one_event_per_query(self, capsys, tmp_path):
+        from repro.obs.log import parse_query_log
+
+        log = tmp_path / "b.jsonl"
+        code = main(
+            [
+                "batch", "--dataset", "SJ", "--category", "T2",
+                "--sources", "1,5,9", "--k", "3", "--landmarks", "4",
+                "--workers", "2", "--log", str(log),
+            ]
+        )
+        assert code == 0
+        events = parse_query_log(log.read_text())
+        assert len(events) == 3
+        assert len({e["query_id"] for e in events}) == 3
+
+    def test_trace_folded_output(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        folded = tmp_path / "t.folded"
+        code = main(
+            [
+                "trace", "--dataset", "SJ", "--source", "10", "--category",
+                "T2", "--k", "3", "--landmarks", "4",
+                "--out", str(out), "--folded", str(folded),
+            ]
+        )
+        assert code == 0
+        assert "folded stacks ->" in capsys.readouterr().out
+        for line in folded.read_text().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert stack and int(value) >= 1
+
+
+class TestReportCommand:
+    def test_renders_committed_trajectory(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Perf trajectory report")
+        assert "### Work counters" in out
+
+    def test_out_flag_writes_file(self, capsys, tmp_path):
+        dest = tmp_path / "report.md"
+        assert main(["report", "--out", str(dest)]) == 0
+        assert "report ->" in capsys.readouterr().out
+        assert dest.read_text().startswith("# Perf trajectory report")
+
+    def test_missing_trajectory_file(self, capsys):
+        assert main(["report", "--trajectory", "/no/such.json"]) == 2
+        assert "cannot read trajectory" in capsys.readouterr().err
+
+    def test_non_list_trajectory_rejected(self, capsys, tmp_path):
+        bogus = tmp_path / "t.json"
+        bogus.write_text('{"not": "a list"}')
+        assert main(["report", "--trajectory", str(bogus)]) == 2
+        assert "not a list" in capsys.readouterr().err
