@@ -1,4 +1,4 @@
-"""Benchmark harness: per-figure experiments and table rendering."""
+"""Benchmark harness: per-figure experiments, load tests, reporting."""
 
 from repro.bench.harness import (
     BatchTiming,
@@ -8,7 +8,23 @@ from repro.bench.harness import (
     time_query_batch,
     workload_for,
 )
+from repro.bench.loadtest import (
+    baseline_for,
+    evaluate_gate,
+    load_entries,
+    render_entry_summary,
+    replay_workload,
+)
 from repro.bench.reporting import format_figure, format_speedups, write_figure
+from repro.bench.trajectory import render_loadtest_report
+from repro.bench.workload import (
+    Arrival,
+    WorkloadSpec,
+    generate_schedule,
+    load_spec,
+    parse_spec,
+    schedule_digest,
+)
 
 __all__ = [
     "BatchTiming",
@@ -20,4 +36,16 @@ __all__ = [
     "format_figure",
     "format_speedups",
     "write_figure",
+    "Arrival",
+    "WorkloadSpec",
+    "generate_schedule",
+    "load_spec",
+    "parse_spec",
+    "schedule_digest",
+    "replay_workload",
+    "evaluate_gate",
+    "baseline_for",
+    "load_entries",
+    "render_entry_summary",
+    "render_loadtest_report",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "work_snapshot",
     "render_trajectory_report",
     "render_work_deltas",
+    "render_loadtest_report",
 ]
 
 #: §3g taxonomy: which SearchStats counters ride under which phase in
@@ -189,5 +190,88 @@ def render_trajectory_report(trajectory: Sequence[Mapping]) -> str:
             )
         out.append("")
         out.append(render_work_deltas(latest, previous))
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"
+
+
+def _lt(block: Mapping | None, key: str) -> str:
+    value = (block or {}).get(key)
+    return "-" if value is None else f"{value:.3f}"
+
+
+def render_loadtest_report(entries: Sequence[Mapping]) -> str:
+    """The ``kpj report --loadtest`` markdown for ``BENCH_loadtest.json``.
+
+    One section per workload spec (grouped by exact spec dict, the
+    same matching rule the SLO gate's baseline lookup uses): the
+    tail-latency/throughput history table, then the latest entry's
+    queue-wait vs service-time breakdown and work-counter deltas
+    against the previous entry of the same spec.
+    """
+    if not entries:
+        return "# Load-test trajectory report\n\n(no entries)"
+    groups: dict[str, list[Mapping]] = {}
+    for entry in entries:
+        key = json.dumps(entry.get("spec") or {}, sort_keys=True)
+        groups.setdefault(key, []).append(entry)
+    out = ["# Load-test trajectory report", ""]
+    for key in sorted(groups, key=lambda k: json.loads(k).get("name", "")):
+        group = groups[key]
+        spec = json.loads(key)
+        latest = group[-1]
+        previous = group[-2] if len(group) > 1 else None
+        out.append(
+            f"## {spec.get('name', '?')} — {spec.get('dataset', '?')}, "
+            f"`{spec.get('kernel', '?')}` kernel, "
+            f"{spec.get('workers', '?')} worker(s), "
+            f"{spec.get('target_qps', '?')} qps target "
+            f"(skew {(spec.get('skew') or {}).get('kind', '?')}, "
+            f"seed {spec.get('seed', '?')})"
+        )
+        out.append("")
+        out.append(
+            "| date | sha | qps | p50 ms | p99 ms | p99.9 ms | errors |"
+        )
+        out.append("|---|---|---:|---:|---:|---:|---:|")
+        for entry in group:
+            lat = entry.get("latency_ms") or {}
+            out.append(
+                f"| {entry.get('date', '?')} | {str(entry.get('sha', '?'))[:12]} "
+                f"| {entry.get('achieved_qps', 0.0):.2f} "
+                f"| {_lt(lat, 'p50')} | {_lt(lat, 'p99')} | {_lt(lat, 'p999')} "
+                f"| {(entry.get('errors') or {}).get('count', 0)} |"
+            )
+        out.append("")
+        out.append("### Queue wait vs service time (latest entry)")
+        out.append("")
+        out.append("| component | p50 ms | p95 ms | p99 ms | p99.9 ms |")
+        out.append("|---|---:|---:|---:|---:|")
+        for field, label in (
+            ("latency_ms", "latency (sojourn)"),
+            ("queue_wait_ms", "queue wait"),
+            ("service_ms", "service"),
+        ):
+            block = latest.get(field) or {}
+            out.append(
+                f"| {label} | {_lt(block, 'p50')} | {_lt(block, 'p95')} "
+                f"| {_lt(block, 'p99')} | {_lt(block, 'p999')} |"
+            )
+        out.append("")
+        out.append(
+            f"achieved {latest.get('achieved_qps', 0.0):.2f} / "
+            f"{latest.get('target_qps', 0.0):g} qps target over "
+            f"{latest.get('duration_s', 0.0):.2f} s, occupancy "
+            f"{latest.get('occupancy', 0.0):.2f}, schedule "
+            f"`{str(latest.get('schedule_sha', '?'))[:12]}`"
+        )
+        out.append("")
+        # render_work_deltas reads protocol.kernel; adapt the spec key.
+        out.append(
+            render_work_deltas(
+                {"work": latest.get("work"),
+                 "protocol": {"kernel": spec.get("kernel", "?")}},
+                {"work": (previous or {}).get("work")} if previous else None,
+            )
+        )
         out.append("")
     return "\n".join(out).rstrip() + "\n"

@@ -9,6 +9,8 @@ Subcommands::
     kpj metrics  --workload workload.json [--trace-out traces/]
     kpj trace    --dataset CAL --source 12 --category Lake --out t.json
     kpj report   [--trajectory benchmarks/results/BENCH_trajectory.json]
+    kpj report   --loadtest [benchmarks/results/BENCH_loadtest.json]
+    kpj loadtest --spec benchmarks/specs/loadtest_smoke.json [--out F]
     kpj fuzz     --seed 0 --cases 1000 [--shrink] [--self-check]
 
 ``query`` answers one KPJ query on a named dataset and prints the
@@ -46,6 +48,18 @@ per-phase allocation attribution plus process/pool byte gauges;
 flamegraph format; ``report`` renders the committed perf trajectory
 (``benchmarks/results/BENCH_trajectory.json``) — latency history plus
 work-counter deltas — as markdown.
+
+Load testing (DESIGN.md §3h): ``loadtest`` validates a declarative
+JSON/TOML workload spec (:mod:`repro.bench.workload`), expands it
+into a seeded deterministic open-loop arrival schedule, replays it
+against the forked serving pool, and emits one schema-versioned
+``BENCH_loadtest.json`` entry — p50/p95/p99/p99.9 tail latency split
+into queue wait vs service time, achieved-vs-target QPS, occupancy,
+error counts, per-phase timers and work counters — then evaluates the
+spec's SLO gate (absolute p99/throughput floors plus a regression
+bound against the pinned baseline entry), exiting non-zero on any
+violation.  ``report --loadtest`` renders that trajectory as
+markdown.
 
 ``fuzz`` runs the differential fuzzing harness (:mod:`repro.fuzz`):
 seeded random instances cross-checked over every registry algorithm ×
@@ -306,10 +320,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="trajectory file (default: benchmarks/results/BENCH_trajectory.json)",
     )
     report.add_argument(
+        "--loadtest",
+        nargs="?",
+        const="benchmarks/results/BENCH_loadtest.json",
+        default=None,
+        metavar="FILE",
+        help="render the load-test trajectory instead "
+        "(default file: benchmarks/results/BENCH_loadtest.json)",
+    )
+    report.add_argument(
         "--out",
         default=None,
         metavar="FILE",
         help="write the markdown here instead of stdout",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a declarative open-loop workload spec against the pool",
+    )
+    loadtest.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="workload spec (.json or .toml; see benchmarks/specs/)",
+    )
+    loadtest.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="append the entry to this BENCH_loadtest.json trajectory",
+    )
+    loadtest.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="trajectory holding the pinned baseline entry "
+        "(default: the --out file before appending)",
+    )
+    loadtest.add_argument(
+        "--json", action="store_true", help="emit the entry as JSON on stdout"
+    )
+    loadtest.add_argument(
+        "--gate",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="evaluate the spec's SLO gate and exit non-zero on violation "
+        "(default: on)",
     )
     return parser
 
@@ -948,25 +1005,40 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     import json
+    import os
 
-    from repro.bench.trajectory import render_trajectory_report
+    from repro.bench.trajectory import (
+        render_loadtest_report,
+        render_trajectory_report,
+    )
 
+    path = args.loadtest if args.loadtest is not None else args.trajectory
+    kind = "loadtest trajectory" if args.loadtest is not None else "trajectory"
+    if not os.path.exists(path):
+        # A missing file is a report about nothing, not a crash: one
+        # clean line and a non-zero exit the caller can branch on.
+        print(f"no {kind} at {path!r} — nothing to report", file=sys.stderr)
+        return 2
     try:
-        with open(args.trajectory) as fh:
-            trajectory = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(
-            f"cannot read trajectory {args.trajectory!r}: {exc}",
-            file=sys.stderr,
-        )
+        text = open(path).read()
+    except OSError as exc:
+        print(f"cannot read {kind} {path!r}: {exc}", file=sys.stderr)
+        return 2
+    if not text.strip():
+        print(f"{kind} {path!r} is empty — no entries to report")
+        return 0
+    try:
+        trajectory = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"cannot read {kind} {path!r}: {exc}", file=sys.stderr)
         return 2
     if not isinstance(trajectory, list):
-        print(
-            f"trajectory {args.trajectory!r} is not a list of entries",
-            file=sys.stderr,
-        )
+        print(f"{kind} {path!r} is not a list of entries", file=sys.stderr)
         return 2
-    doc = render_trajectory_report(trajectory)
+    if args.loadtest is not None:
+        doc = render_loadtest_report(trajectory)
+    else:
+        doc = render_trajectory_report(trajectory)
     if args.out:
         try:
             with open(args.out, "w") as fh:
@@ -977,6 +1049,74 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report -> {args.out}")
     else:
         print(doc, end="")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.loadtest import (
+        baseline_for,
+        evaluate_gate,
+        load_entries,
+        render_entry_summary,
+        replay_workload,
+    )
+    from repro.bench.workload import load_spec
+    from repro.exceptions import QueryError
+
+    try:
+        spec = load_spec(args.spec)
+    except QueryError as exc:
+        print(f"bad workload spec: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline if args.baseline is not None else args.out
+    baseline = None
+    trajectory: list = []
+    try:
+        if args.out is not None:
+            trajectory = load_entries(args.out)
+        if baseline_path is not None:
+            pool = (
+                trajectory
+                if baseline_path == args.out
+                else load_entries(baseline_path)
+            )
+            baseline = baseline_for(pool, spec.as_dict())
+    except QueryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        entry = replay_workload(
+            spec, progress=lambda msg: print(f"# {msg}", file=sys.stderr)
+        )
+    except QueryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out is not None:
+        trajectory.append(entry)
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(trajectory, fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write {args.out!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"# entry -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(entry, indent=2))
+    else:
+        print(render_entry_summary(entry, baseline))
+    if not args.gate:
+        return 0
+    failures = evaluate_gate(entry, spec, baseline)
+    if failures:
+        print("SLO GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    against = " vs baseline" if baseline is not None else ""
+    print(f"slo gate OK{against}")
     return 0
 
 
@@ -1003,6 +1143,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

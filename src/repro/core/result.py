@@ -79,6 +79,16 @@ class QueryResult:
         (:func:`~repro.obs.log.new_query_id`), the join key between
         log events, slow-query dumps, trace trees, and batch reports.
         A plain string, so it too survives the fork boundary.
+    timing:
+        Serving-side timestamps stamped by
+        :func:`~repro.server.pool.run_batch` and the load-test replay
+        engine: ``enqueued_at_s``/``started_at_s`` monotonic offsets
+        from the batch start plus the derived ``queue_wait_s``, so
+        queue wait is attributable separately from the service time in
+        :attr:`elapsed_ms`.  ``None`` outside batch/load-test serving.
+        A plain dict — workers stamp their half (``started_at_s``) and
+        the parent merges the enqueue side after results cross the
+        fork boundary.
     """
 
     paths: list[Path]
@@ -88,6 +98,7 @@ class QueryResult:
     metrics: dict | None = None
     trace: dict | None = None
     query_id: str | None = None
+    timing: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready representation including stats counters."""
@@ -103,6 +114,8 @@ class QueryResult:
             out["trace"] = self.trace
         if self.query_id is not None:
             out["query_id"] = self.query_id
+        if self.timing is not None:
+            out["timing"] = self.timing
         return out
 
     @property

@@ -48,7 +48,9 @@ __all__ = [
     "Histogram",
     "maybe_phase",
     "parse_prom",
+    "log_buckets",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "LOADTEST_LATENCY_BUCKETS_MS",
     "SEARCH_PHASES",
 ]
 
@@ -59,6 +61,43 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
     100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
 )
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 5) -> tuple[float, ...]:
+    """Log-spaced histogram bucket bounds covering ``[lo, hi]``.
+
+    Returns strictly increasing bounds starting at ``lo`` with
+    ``per_decade`` buckets per factor of 10, extended until the last
+    bound is at least ``hi`` (so nothing inside the declared range can
+    fall into the implicit ``+Inf`` overflow bucket, where a quantile
+    collapses to the largest finite bound).  Bounds are rounded to six
+    significant digits so persisted histograms stay readable.
+    """
+    if not (math.isfinite(lo) and lo > 0.0):
+        raise ValueError(f"log_buckets lo must be finite and > 0, got {lo}")
+    if not (math.isfinite(hi) and hi > lo):
+        raise ValueError(f"log_buckets hi must be finite and > lo, got {hi}")
+    if int(per_decade) != per_decade or per_decade < 1:
+        raise ValueError(f"per_decade must be an integer >= 1, got {per_decade}")
+    per_decade = int(per_decade)
+    count = math.ceil(per_decade * math.log10(hi / lo)) + 1
+    bounds = tuple(
+        float(f"{lo * 10.0 ** (i / per_decade):.6g}") for i in range(count)
+    )
+    if list(bounds) != sorted(set(bounds)):
+        raise ValueError(
+            f"per_decade={per_decade} too fine: rounded bounds collide"
+        )
+    return bounds
+
+
+#: Log-spaced buckets for load-test tail latencies: 50 µs up to two
+#: minutes, five buckets per decade.  Under open-loop load the queue
+#: wait dwarfs the service time, so :data:`DEFAULT_LATENCY_BUCKETS_MS`
+#: (top bound 5 s) would collapse a loaded run's p99.9 into the
+#: overflow bucket; these reach far enough that every honest tail
+#: quantile stays in a finite bucket.
+LOADTEST_LATENCY_BUCKETS_MS: tuple[float, ...] = log_buckets(0.05, 120_000.0, 5)
 
 #: The fine-grained phases recorded *inside* the iteratively bounding
 #: driver; the solver derives ``search_other`` as the driver residue so

@@ -28,7 +28,7 @@ from time import perf_counter
 from typing import Mapping, Sequence
 
 from repro.exceptions import QueryError
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import LOADTEST_LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.obs.tracing import SpanTracer
 
 __all__ = ["BatchQuery", "run_batch"]
@@ -126,10 +126,16 @@ def _worker_execute(query: BatchQuery):
     each worker actually answered).  Exceptions come back as
     :class:`_WorkerFailure` values so sibling snapshots survive.
     """
+    started = perf_counter()
     try:
         result = _execute(_WORKER_SOLVER, query)
     except Exception as exc:
         return _WorkerFailure(error=exc, index=_WORKER_INDEX)
+    # The worker's half of the serving-side timing: when this query was
+    # actually picked up.  perf_counter is one machine-wide monotonic
+    # clock on fork platforms, so the parent can subtract its own
+    # enqueue timestamp to get the queue wait.
+    result.timing = {"started_at_s": started}
     if result.metrics is not None and _WORKER_INDEX is not None:
         counters = result.metrics["counters"]
         key = f"worker_{_WORKER_INDEX}_queries"
@@ -234,6 +240,16 @@ def run_batch(
     If the solver has no tracer of its own, one (with the same
     sampling stride) is installed for the duration and removed after.
 
+    Every completed result additionally carries serving-side timing
+    (``QueryResult.timing``): ``enqueued_at_s``/``started_at_s``
+    monotonic offsets from the batch start and the derived
+    ``queue_wait_s``, so queue wait is attributable separately from
+    the service time post-hoc.  Workers stamp the start half; the
+    parent merges the enqueue half after results cross the fork
+    boundary — on the failure path too, like the snapshot merges
+    below.  When ``metrics`` is passed, the queue waits are also
+    recorded into a log-spaced ``queue_wait_ms`` histogram.
+
     Pooled results are additionally tagged per worker: each query
     snapshot carries a ``worker_<i>_queries`` counter, so the merged
     registry shows how the workload actually spread across workers
@@ -248,6 +264,8 @@ def run_batch(
     if not batch:
         return []
     workers = min(int(workers), len(batch))
+    t_base = perf_counter()  # batch epoch: timing offsets are relative to it
+    t_enqueue: float | None = None
     own_metrics = metrics is not None and solver.metrics is None
     if own_metrics:
         # Must be installed before the fork so workers inherit it and
@@ -291,6 +309,10 @@ def run_batch(
                         initargs=(ctx.Value("i", 0),),
                     ) as pool:
                         chunk = max(1, len(batch) // (4 * workers))
+                        # Every query of the batch is enqueued when
+                        # imap hands the iterable to the pool; workers
+                        # stamp started_at_s when they pick one up.
+                        t_enqueue = perf_counter()
                         results = list(
                             pool.imap(_worker_execute, batch, chunksize=chunk)
                         )
@@ -299,18 +321,47 @@ def run_batch(
         if results is None:
             results = []
             for query in batch:
+                enqueued = perf_counter()
                 try:
-                    results.append(_execute(solver, query))
+                    result = _execute(solver, query)
                 except Exception as exc:
                     # Preserve the completed queries' snapshots; the
                     # merge below runs before the failure re-raises.
                     results.append(_WorkerFailure(error=exc))
                     break
+                # Sequential: the query starts the instant it is
+                # dequeued, so the queue wait is zero by construction.
+                result.timing = {
+                    "enqueued_at_s": enqueued, "started_at_s": enqueued,
+                }
+                results.append(result)
         # A failed query must still fail the batch — but only after
         # the successful results' observability snapshots are merged,
         # so one bad query no longer blinds the whole batch.
         failure = next((r for r in results if isinstance(r, _WorkerFailure)), None)
         completed = [r for r in results if not isinstance(r, _WorkerFailure)]
+        # Merge the parent's enqueue half into each completed result's
+        # timing and rebase onto batch-start offsets — on the failure
+        # path too, exactly like the snapshot merges below: a bad
+        # query must not discard its siblings' queue-wait attribution.
+        for result in completed:
+            timing = dict(result.timing or {})
+            enqueued = timing.get("enqueued_at_s")
+            if enqueued is None:
+                enqueued = t_enqueue if t_enqueue is not None else t_base
+            started = timing.get("started_at_s", enqueued)
+            queue_wait = max(0.0, started - enqueued)
+            result.timing = {
+                "enqueued_at_s": enqueued - t_base,
+                "started_at_s": started - t_base,
+                "queue_wait_s": queue_wait,
+            }
+            if metrics is not None:
+                metrics.observe(
+                    "queue_wait_ms",
+                    queue_wait * 1e3,
+                    buckets=LOADTEST_LATENCY_BUCKETS_MS,
+                )
         if stats is not None:
             for result in completed:
                 stats.merge(result.stats)

@@ -7,9 +7,11 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
+    LOADTEST_LATENCY_BUCKETS_MS,
     Histogram,
     MetricsRegistry,
     SEARCH_PHASES,
+    log_buckets,
     maybe_phase,
     parse_prom,
 )
@@ -325,3 +327,62 @@ class TestPromExposition:
 class TestSearchPhases:
     def test_driver_phases_are_a_known_set(self):
         assert set(SEARCH_PHASES) == {"comp_sp", "spt_grow", "test_lb", "division"}
+
+
+class TestLogBuckets:
+    def test_bounds_are_strictly_increasing_and_span_range(self):
+        bounds = log_buckets(0.1, 1000.0, 5)
+        assert list(bounds) == sorted(bounds)
+        assert len(set(bounds)) == len(bounds)
+        assert bounds[0] == pytest.approx(0.1)
+        assert bounds[-1] >= 1000.0
+
+    def test_per_decade_controls_resolution(self):
+        coarse = log_buckets(1.0, 1000.0, 1)
+        fine = log_buckets(1.0, 1000.0, 10)
+        assert len(coarse) == 4  # 1, 10, 100, 1000
+        assert len(fine) > len(coarse)
+        # Consecutive bounds keep a ~constant ratio (log spacing).
+        ratios = [b / a for a, b in zip(fine, fine[1:])]
+        assert max(ratios) / min(ratios) == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lo must be finite"):
+            log_buckets(0.0, 10.0)
+        with pytest.raises(ValueError, match="lo must be finite"):
+            log_buckets(math.inf, 10.0)
+        with pytest.raises(ValueError, match="hi must be finite"):
+            log_buckets(10.0, 10.0)
+        with pytest.raises(ValueError, match="per_decade"):
+            log_buckets(1.0, 10.0, 0)
+
+    def test_histogram_accepts_log_buckets(self):
+        hist = Histogram(log_buckets(0.1, 100.0, 3))
+        hist.observe(5.0)
+        assert hist.total == 1
+
+    def test_default_buckets_collapse_deep_tail_to_last_finite_bound(self):
+        """The edge case that motivated log_buckets: every sample past
+        the top DEFAULT bound lands in the +Inf overflow bucket, and
+        any quantile that resolves there collapses to the last finite
+        bound — 6 s of queueing reads as exactly 5000.0 ms.
+        """
+        queueing = Histogram(DEFAULT_LATENCY_BUCKETS_MS)
+        for _ in range(1000):
+            queueing.observe(6000.0)
+        assert queueing.quantile(0.999) == DEFAULT_LATENCY_BUCKETS_MS[-1]
+        assert queueing.quantile(0.5) == DEFAULT_LATENCY_BUCKETS_MS[-1]
+
+    def test_loadtest_buckets_resolve_the_same_tail(self):
+        hist = Histogram(LOADTEST_LATENCY_BUCKETS_MS)
+        for _ in range(1000):
+            hist.observe(6000.0)
+        p999 = hist.quantile(0.999)
+        # Resolved within one log-spaced bucket of the true value, not
+        # pinned to the range's top bound.
+        assert 6000.0 <= p999 < LOADTEST_LATENCY_BUCKETS_MS[-1]
+        assert p999 == pytest.approx(6000.0, rel=0.65)
+
+    def test_loadtest_buckets_span_sub_ms_to_minutes(self):
+        assert LOADTEST_LATENCY_BUCKETS_MS[0] <= 0.05
+        assert LOADTEST_LATENCY_BUCKETS_MS[-1] >= 120_000.0

@@ -204,6 +204,11 @@ class TestMetricsAggregation:
         for r in results:
             assert r.metrics is not None
             expected.merge(r.metrics)
+        # The queue-wait histogram is recorded parent-side (workers
+        # cannot know the enqueue time), so it is the one series the
+        # per-query snapshots never contain.
+        queue_wait = agg.histograms.pop("queue_wait_ms")
+        assert queue_wait.total == len(queries)
         # No fork, no warm-up: the aggregate IS the sum of snapshots.
         assert agg.as_dict() == expected.as_dict()
         assert agg.counters["queries"] == len(queries)
@@ -331,6 +336,59 @@ class TestFailureMerge:
         dataset, solver = sj_solver
         with pytest.raises(QueryError, match="NOPE"):
             solver.solve_batch(self._mixed_batch(dataset, 2), workers=2)
+
+    def test_timing_merged_on_failure_path(self, sj_solver):
+        """Like the completed-snapshot merge, sibling timing telemetry
+        survives a bad query: completed queries' queue waits land in
+        the aggregate even though the batch raises."""
+        dataset, solver = sj_solver
+        agg = MetricsRegistry()
+        with pytest.raises(QueryError, match="NOPE"):
+            solver.solve_batch(
+                self._mixed_batch(dataset, 4), workers=2, metrics=agg
+            )
+        assert agg.histograms["queue_wait_ms"].total == 4
+
+
+class TestTimingStamps:
+    """Serving-side queue-wait vs service-time attribution (§3h)."""
+
+    def test_sequential_results_carry_zero_queue_wait(self, sj_solver):
+        dataset, solver = sj_solver
+        results = solver.solve_batch(_query_mix(dataset, 6), workers=1)
+        for r in results:
+            assert r.timing is not None
+            assert r.timing["queue_wait_s"] == 0.0
+            assert r.timing["enqueued_at_s"] >= 0.0
+            assert r.timing["started_at_s"] == r.timing["enqueued_at_s"]
+
+    def test_parallel_results_carry_consistent_offsets(self, sj_solver):
+        dataset, solver = sj_solver
+        results = solver.solve_batch(_query_mix(dataset, 12), workers=2)
+        for r in results:
+            timing = r.timing
+            assert timing is not None
+            assert set(timing) == {
+                "enqueued_at_s", "started_at_s", "queue_wait_s"
+            }
+            assert timing["started_at_s"] >= timing["enqueued_at_s"] >= 0.0
+            assert timing["queue_wait_s"] == pytest.approx(
+                timing["started_at_s"] - timing["enqueued_at_s"]
+            )
+
+    def test_queue_wait_histogram_counts_every_completion(self, sj_solver):
+        dataset, solver = sj_solver
+        agg = MetricsRegistry()
+        queries = _query_mix(dataset, 8)
+        solver.solve_batch(queries, workers=2, metrics=agg)
+        hist = agg.histograms["queue_wait_ms"]
+        assert hist.total == len(queries)
+        assert hist.sum >= 0.0
+
+    def test_timing_serialises_in_to_dict(self, sj_solver):
+        dataset, solver = sj_solver
+        (result,) = solver.solve_batch(_query_mix(dataset, 1), workers=1)
+        assert result.to_dict()["timing"] == result.timing
 
 
 @pytest.mark.slow

@@ -547,10 +547,121 @@ class TestReportCommand:
 
     def test_missing_trajectory_file(self, capsys):
         assert main(["report", "--trajectory", "/no/such.json"]) == 2
-        assert "cannot read trajectory" in capsys.readouterr().err
+        assert "nothing to report" in capsys.readouterr().err
 
     def test_non_list_trajectory_rejected(self, capsys, tmp_path):
         bogus = tmp_path / "t.json"
         bogus.write_text('{"not": "a list"}')
         assert main(["report", "--trajectory", str(bogus)]) == 2
         assert "not a list" in capsys.readouterr().err
+
+    def test_missing_loadtest_trajectory(self, capsys):
+        assert main(["report", "--loadtest", "/no/such.json"]) == 2
+        err = capsys.readouterr().err
+        assert "nothing to report" in err and "loadtest" in err
+
+    def test_empty_loadtest_trajectory_is_clean(self, capsys, tmp_path):
+        blank = tmp_path / "lt.json"
+        blank.write_text("\n")
+        assert main(["report", "--loadtest", str(blank)]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_empty_trajectory_file_is_clean(self, capsys, tmp_path):
+        blank = tmp_path / "t.json"
+        blank.write_text("")
+        assert main(["report", "--trajectory", str(blank)]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+
+def _write_tiny_spec(tmp_path, **overrides):
+    import json
+
+    data = {
+        "name": "cli-tiny",
+        "dataset": "SJ",
+        "categories": ["T1", "T2"],
+        "target_qps": 400.0,
+        "queries": 8,
+        "workers": 1,
+        "seed": 5,
+        "kernel": "dict",
+        "landmarks": 2,
+        "k": {"kind": "fixed", "value": 2},
+        "slo": {"p99_ms": 30000.0, "min_qps": 1.0},
+    }
+    data.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestLoadtestCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadtest", "--spec", "w.json"])
+        assert args.command == "loadtest"
+        assert args.out is None
+        assert args.baseline is None
+        assert args.gate is True
+        assert args.json is False
+
+    def test_replay_writes_entry_and_passes_gate(self, capsys, tmp_path):
+        import json
+
+        spec = _write_tiny_spec(tmp_path)
+        out = tmp_path / "BENCH_loadtest.json"
+        assert main(["loadtest", "--spec", str(spec), "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "slo gate OK" in captured.out
+        assert "queue wait" in captured.out
+        entries = json.loads(out.read_text())
+        assert len(entries) == 1
+        assert entries[0]["completed"] == 8
+
+    def test_second_run_gates_against_recorded_baseline(self, capsys, tmp_path):
+        spec = _write_tiny_spec(
+            tmp_path, slo={"p99_ms": 30000.0, "regression_factor": 100.0}
+        )
+        out = tmp_path / "BENCH_loadtest.json"
+        assert main(["loadtest", "--spec", str(spec), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["loadtest", "--spec", str(spec), "--out", str(out)]) == 0
+        assert "slo gate OK vs baseline" in capsys.readouterr().out
+
+    def test_violated_p99_bound_fails_nonzero(self, capsys, tmp_path):
+        # No real replay finishes under a microsecond: the declared
+        # p99 bound is deliberately impossible, so the gate must fail.
+        spec = _write_tiny_spec(tmp_path, slo={"p99_ms": 0.001})
+        assert main(["loadtest", "--spec", str(spec)]) == 1
+        err = capsys.readouterr().err
+        assert "SLO GATE FAILED" in err
+        assert "p99" in err
+
+    def test_no_gate_flag_skips_slo(self, capsys, tmp_path):
+        spec = _write_tiny_spec(tmp_path, slo={"p99_ms": 0.001})
+        assert main(["loadtest", "--spec", str(spec), "--no-gate"]) == 0
+        assert "SLO GATE FAILED" not in capsys.readouterr().err
+
+    def test_json_output_is_the_entry(self, capsys, tmp_path):
+        import json
+
+        spec = _write_tiny_spec(tmp_path)
+        assert main(["loadtest", "--spec", str(spec), "--json"]) == 0
+        entry = json.loads(capsys.readouterr().out.rsplit("slo gate OK")[0])
+        assert entry["queries"] == 8
+        assert entry["latency_ms"]["p99"] is not None
+
+    def test_bad_spec_exits_two(self, capsys, tmp_path):
+        spec = _write_tiny_spec(tmp_path, target_qps=0)
+        assert main(["loadtest", "--spec", str(spec)]) == 2
+        assert "bad workload spec" in capsys.readouterr().err
+
+    def test_report_renders_loadtest_trajectory(self, capsys, tmp_path):
+        spec = _write_tiny_spec(tmp_path)
+        out = tmp_path / "BENCH_loadtest.json"
+        assert main(["loadtest", "--spec", str(spec), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--loadtest", str(out)]) == 0
+        doc = capsys.readouterr().out
+        assert doc.startswith("# Load-test trajectory report")
+        assert "cli-tiny" in doc
+        assert "Queue wait vs service time" in doc
