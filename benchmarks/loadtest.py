@@ -67,7 +67,18 @@ def main(argv: list[str] | None = None) -> int:
         "--check", action="store_true",
         help="gate against the spec SLO + committed baseline (default)",
     )
+    parser.add_argument(
+        "--target", choices=("pool", "service"), default="pool",
+        help="serving tier to replay against (default: pool); entries "
+        "and baselines are matched per target",
+    )
+    parser.add_argument(
+        "--url", metavar="URL", default=None,
+        help="replay over HTTP against a running `kpj serve` endpoint "
+        "(implies --target service)",
+    )
     args = parser.parse_args(argv)
+    target = "service" if args.url else args.target
 
     spec_paths = args.spec or [str(DEFAULT_SPEC)]
     try:
@@ -79,10 +90,11 @@ def main(argv: list[str] | None = None) -> int:
 
     exit_code = 0
     for spec in specs:
-        baseline = baseline_for(trajectory, spec.as_dict())
+        baseline = baseline_for(trajectory, spec.as_dict(), target=target)
         try:
             entry = replay_workload(
-                spec, progress=lambda msg: print(f"# {msg}")
+                spec, progress=lambda msg: print(f"# {msg}"),
+                target=target, url=args.url,
             )
         except QueryError as exc:
             print(str(exc), file=sys.stderr)

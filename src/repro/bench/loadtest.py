@@ -2,16 +2,33 @@
 
 :func:`replay_workload` takes a frozen
 :class:`~repro.bench.workload.WorkloadSpec`, expands it into its
-deterministic arrival schedule, and replays it against the serving
-pool: the dispatcher sleeps until each arrival's scheduled offset and
-submits the query **regardless of completions** (open loop), so a
+deterministic arrival schedule, and replays it against a serving
+target: the dispatcher sleeps until each arrival's scheduled offset
+and submits the query **regardless of completions** (open loop), so a
 system that cannot keep up accumulates visible queue wait instead of
-quietly throttling the offered load.  Workers are the same forked
-processes :func:`repro.server.pool.run_batch` uses — each query comes
-back with its metrics snapshot and a worker-stamped ``started_at_s``,
-and the dispatcher records its own enqueue offset per arrival, so
-queue wait and service time are attributed separately without any new
-timers on the query path.
+quietly throttling the offered load.
+
+Three targets share that dispatcher:
+
+* ``target="pool"`` (default) — the same forked processes
+  :func:`repro.server.pool.run_batch` uses; each query comes back
+  with its metrics snapshot and a worker-stamped ``started_at_s``,
+  and the dispatcher records its own enqueue offset per arrival, so
+  queue wait and service time are attributed separately without any
+  new timers on the query path;
+* ``target="service"`` — the resident-worker tier
+  (:class:`repro.server.service.QueryService`), spun in-process for
+  the replay: warm-up (JIT, shared-memory export, category prewarm)
+  is paid **once at service start** and lands in the entry's
+  one-time ``warmup`` phase, so ``service_ms`` reflects steady-state
+  serving;
+* ``url=...`` — an already-running ``kpj serve`` endpoint, replayed
+  over HTTP (the entry still records ``target: service``); phase
+  attribution comes from the server's ``/status`` report, which
+  covers the server's lifetime, not just this replay.
+
+Entries record their ``target``, and :func:`baseline_for` matches on
+it, so pool and service trajectories gate independently.
 
 Collection rides the existing observability layers: per-query latency
 from ``QueryResult.elapsed_ms``, per-phase wall clock from the merged
@@ -114,17 +131,9 @@ def _solver_for(spec: WorkloadSpec):
     return dataset, solver
 
 
-def replay_workload(spec: WorkloadSpec, progress=None) -> dict:
-    """Replay ``spec`` open-loop and return one trajectory entry.
-
-    Raises :class:`~repro.exceptions.QueryError` on spec/dataset
-    mismatches (unknown category).  Individual query failures during
-    the replay are counted into the entry's ``errors`` block instead
-    of aborting — the SLO gate's error budget decides whether they
-    fail the run.
-    """
+def _replay_pool(spec, solver, schedule, queries, agg):
+    """The fork-per-batch target (the original replay engine)."""
     from repro.server.pool import (
-        BatchQuery,
         _execute,
         _warm_cache,
         _WorkerFailure,
@@ -132,21 +141,6 @@ def replay_workload(spec: WorkloadSpec, progress=None) -> dict:
     )
     from repro.server import pool as pool_mod
 
-    dataset, solver = _solver_for(spec)
-    schedule = generate_schedule(spec, dataset.n)
-    if progress is not None:
-        progress(
-            f"replaying {spec.name!r}: {len(schedule)} arrivals at "
-            f"{spec.target_qps:g} qps over {spec.workers} worker(s)"
-        )
-    queries = [
-        BatchQuery(
-            source=a.source, category=a.category, k=a.k,
-            algorithm=spec.algorithm, alpha=spec.alpha,
-        )
-        for a in schedule
-    ]
-    agg = MetricsRegistry()
     # Per-query snapshots need a registry attached before the fork;
     # the parent merges each result's snapshot into ``agg`` uniformly
     # (pooled or not), so the solver's own registry is never read.
@@ -207,6 +201,194 @@ def replay_workload(spec: WorkloadSpec, progress=None) -> dict:
             raws.append((arrival, enq, result))
     makespan = perf_counter() - t0
     solver.metrics = None
+    return raws, makespan
+
+
+def _replay_service(spec, solver, schedule, queries, agg):
+    """The resident-worker target: one long-lived service for the
+    whole replay, warm-up paid once at start."""
+    from repro.server.pool import _WorkerFailure
+    from repro.server.service import QueryService
+
+    service = QueryService(
+        solver,
+        workers=spec.workers,
+        # The replay is open-loop by design — admission shedding would
+        # turn offered-load pressure into errors, which is the serve
+        # path's policy, not the benchmark's.  Bound high enough that
+        # every arrival is admitted.
+        max_pending=len(schedule) + spec.workers + 1,
+        prewarm=spec.categories,
+    )
+    service.start()
+    try:
+        t0 = perf_counter()
+        pending = []
+        for arrival, query in zip(schedule, queries):
+            delay = arrival.offset_s - (perf_counter() - t0)
+            if delay > 0:
+                sleep(delay)
+            enq = perf_counter()
+            pending.append((arrival, enq, service.submit(query)))
+        raws = []
+        for arrival, enq, future in pending:
+            try:
+                raws.append((arrival, enq, future.result()))
+            except Exception as exc:
+                raws.append((arrival, enq, _WorkerFailure(error=exc)))
+        makespan = perf_counter() - t0
+    finally:
+        service.shutdown()
+    # The service registry holds the one-time ``warmup`` phase, every
+    # per-query snapshot, and the service counters/histograms.
+    agg.merge(service.metrics)
+    return raws, makespan
+
+
+def _http_query(url: str, payload: dict, timeout: float):
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url.rstrip("/") + "/query",
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        try:
+            message = json.loads(body).get("error", body)
+        except (json.JSONDecodeError, AttributeError):
+            message = body
+        raise QueryError(f"HTTP {exc.code}: {message}") from None
+    except (urllib.error.URLError, OSError) as exc:
+        raise QueryError(f"service unreachable at {url!r}: {exc}") from None
+
+
+def _replay_http(spec, url, schedule, queries, agg):
+    """Replay against a running ``kpj serve`` endpoint over HTTP."""
+    from concurrent.futures import ThreadPoolExecutor
+    from types import SimpleNamespace
+
+    from repro.core.stats import SearchStats
+    from repro.server.pool import _WorkerFailure
+
+    raws: list[tuple] = []
+    timeout = 120.0
+    with ThreadPoolExecutor(
+        max_workers=min(64, max(4, spec.workers * 4))
+    ) as executor:
+        t0 = perf_counter()
+        pending = []
+        for arrival, query in zip(schedule, queries):
+            delay = arrival.offset_s - (perf_counter() - t0)
+            if delay > 0:
+                sleep(delay)
+            enq = perf_counter()
+            payload = {
+                "source": query.source, "k": query.k,
+                "algorithm": query.algorithm, "alpha": query.alpha,
+            }
+            if query.category is not None:
+                payload["category"] = query.category
+            if query.destinations is not None:
+                payload["destinations"] = list(query.destinations)
+            pending.append(
+                (arrival, enq, executor.submit(_http_query, url, payload, timeout))
+            )
+        for arrival, enq, future in pending:
+            try:
+                body = future.result()
+            except Exception as exc:
+                raws.append((arrival, enq, _WorkerFailure(error=exc)))
+                continue
+            raws.append((
+                arrival,
+                enq,
+                SimpleNamespace(
+                    timing=body.get("timing") or {},
+                    elapsed_ms=float(body.get("elapsed_ms", 0.0)),
+                    stats=SearchStats(**(body.get("stats") or {})),
+                    metrics=body.get("metrics"),
+                ),
+            ))
+        makespan = perf_counter() - t0
+    # Phase attribution lives server-side; fold in the /status report
+    # (lifetime totals — documented caveat for long-running servers).
+    try:
+        import urllib.request
+
+        with urllib.request.urlopen(
+            url.rstrip("/") + "/status", timeout=10
+        ) as response:
+            status = json.loads(response.read().decode("utf-8"))
+        for phase, block in (status["metrics"].get("phases") or {}).items():
+            agg.observe_phase(
+                phase, block.get("seconds", 0.0), calls=block.get("calls", 1)
+            )
+    except Exception:  # pragma: no cover - status endpoint unreachable
+        pass
+    return raws, makespan
+
+
+def replay_workload(
+    spec: WorkloadSpec, progress=None, target: str = "pool",
+    url: str | None = None,
+) -> dict:
+    """Replay ``spec`` open-loop and return one trajectory entry.
+
+    ``target`` picks the serving tier (``"pool"`` or ``"service"``);
+    passing ``url`` replays over HTTP against a running ``kpj serve``
+    (and implies ``target="service"``).  Raises
+    :class:`~repro.exceptions.QueryError` on spec/dataset mismatches
+    (unknown category).  Individual query failures during the replay
+    are counted into the entry's ``errors`` block instead of aborting
+    — the SLO gate's error budget decides whether they fail the run.
+    """
+    from repro.server.pool import BatchQuery, _WorkerFailure
+
+    if url is not None:
+        target = "service"
+    if target not in ("pool", "service"):
+        raise QueryError(
+            f"unknown loadtest target {target!r}; choose 'pool' or 'service'"
+        )
+    if url is not None:
+        dataset_n = None
+        from repro.datasets.registry import road_network
+
+        dataset_n = road_network(spec.dataset).n
+        solver = None
+        schedule = generate_schedule(spec, dataset_n)
+    else:
+        dataset, solver = _solver_for(spec)
+        schedule = generate_schedule(spec, dataset.n)
+    if progress is not None:
+        where = url if url is not None else target
+        progress(
+            f"replaying {spec.name!r}: {len(schedule)} arrivals at "
+            f"{spec.target_qps:g} qps over {spec.workers} worker(s) "
+            f"[{where}]"
+        )
+    queries = [
+        BatchQuery(
+            source=a.source, category=a.category, k=a.k,
+            algorithm=spec.algorithm, alpha=spec.alpha,
+        )
+        for a in schedule
+    ]
+    agg = MetricsRegistry()
+    if url is not None:
+        raws, makespan = _replay_http(spec, url, schedule, queries, agg)
+    elif target == "service":
+        raws, makespan = _replay_service(spec, solver, schedule, queries, agg)
+    else:
+        raws, makespan = _replay_pool(spec, solver, schedule, queries, agg)
 
     latency = Histogram(LOADTEST_LATENCY_BUCKETS_MS)
     queue_wait = Histogram(LOADTEST_LATENCY_BUCKETS_MS)
@@ -218,8 +400,15 @@ def replay_workload(spec: WorkloadSpec, progress=None) -> dict:
         if isinstance(raw, _WorkerFailure):
             errors.append({"index": arrival.index, "error": str(raw.error)})
             continue
-        started = (raw.timing or {}).get("started_at_s", enq)
-        qw_ms = max(0.0, started - enq) * 1e3
+        timing = raw.timing or {}
+        if "queue_wait_s" in timing:
+            # Service/HTTP results arrive with the wait already derived
+            # (their ``*_at_s`` offsets are epoch-rebased, not raw
+            # ``perf_counter`` readings comparable to ``enq``).
+            qw_ms = max(0.0, timing["queue_wait_s"]) * 1e3
+        else:
+            started = timing.get("started_at_s", enq)
+            qw_ms = max(0.0, started - enq) * 1e3
         svc_ms = raw.elapsed_ms
         queue_wait.observe(qw_ms)
         service.observe(svc_ms)
@@ -237,6 +426,7 @@ def replay_workload(spec: WorkloadSpec, progress=None) -> dict:
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": ".".join(str(v) for v in sys.version_info[:3]),
         "spec": spec.as_dict(),
+        "target": target,
         "schedule_sha": schedule_digest(schedule),
         "queries": len(schedule),
         "completed": completed,
@@ -253,13 +443,26 @@ def replay_workload(spec: WorkloadSpec, progress=None) -> dict:
         "phases": report["phases"],
         "work": work,
     }
+    if url is not None:
+        entry["url"] = url
     return entry
 
 
-def baseline_for(entries: Sequence[Mapping], spec_dict: Mapping) -> dict | None:
-    """The latest entry recorded under exactly ``spec_dict``."""
+def baseline_for(
+    entries: Sequence[Mapping], spec_dict: Mapping, target: str = "pool"
+) -> dict | None:
+    """The latest entry recorded under exactly ``spec_dict`` for
+    ``target``.
+
+    Entries from before targets existed carry no ``target`` field and
+    are treated as ``"pool"`` — the only tier that produced them — so
+    pool and service trajectories gate against their own baselines.
+    """
     for entry in reversed(list(entries)):
-        if entry.get("spec") == spec_dict:
+        if (
+            entry.get("spec") == spec_dict
+            and entry.get("target", "pool") == target
+        ):
             return dict(entry)
     return None
 
@@ -325,6 +528,11 @@ def evaluate_gate(
                 "baseline entry was recorded under a different spec — "
                 "refresh the baseline"
             )
+        elif baseline.get("target", "pool") != entry.get("target", "pool"):
+            failures.append(
+                "baseline entry was recorded under a different target — "
+                "refresh the baseline"
+            )
         else:
             base_p99 = (baseline.get("latency_ms") or {}).get("p99")
             if base_p99 and p99 is not None and p99 > base_p99 * slo.regression_factor:
@@ -353,7 +561,8 @@ def render_entry_summary(entry: Mapping, baseline: Mapping | None = None) -> str
     lines = [
         f"loadtest {spec.get('name', '?')!r}: {spec.get('dataset', '?')} "
         f"({spec.get('algorithm', '?')}, {spec.get('kernel', '?')} kernel, "
-        f"{spec.get('workers', '?')} worker(s), seed {spec.get('seed', '?')})",
+        f"{spec.get('workers', '?')} worker(s), seed {spec.get('seed', '?')}, "
+        f"target {entry.get('target', 'pool')})",
         f"  arrivals  {entry.get('queries', 0)} "
         f"(completed {entry.get('completed', 0)}, "
         f"errors {(entry.get('errors') or {}).get('count', 0)}), "

@@ -11,6 +11,7 @@ Subcommands::
     kpj report   [--trajectory benchmarks/results/BENCH_trajectory.json]
     kpj report   --loadtest [benchmarks/results/BENCH_loadtest.json]
     kpj loadtest --spec benchmarks/specs/loadtest_smoke.json [--out F]
+    kpj serve    --dataset CAL --workers 4 --port 8321 [--prewarm Lake]
     kpj fuzz     --seed 0 --cases 1000 [--shrink] [--self-check]
 
 ``query`` answers one KPJ query on a named dataset and prints the
@@ -52,14 +53,24 @@ work-counter deltas — as markdown.
 Load testing (DESIGN.md §3h): ``loadtest`` validates a declarative
 JSON/TOML workload spec (:mod:`repro.bench.workload`), expands it
 into a seeded deterministic open-loop arrival schedule, replays it
-against the forked serving pool, and emits one schema-versioned
-``BENCH_loadtest.json`` entry — p50/p95/p99/p99.9 tail latency split
-into queue wait vs service time, achieved-vs-target QPS, occupancy,
-error counts, per-phase timers and work counters — then evaluates the
-spec's SLO gate (absolute p99/throughput floors plus a regression
-bound against the pinned baseline entry), exiting non-zero on any
-violation.  ``report --loadtest`` renders that trajectory as
+against a serving tier — the forked pool (default), the resident
+service (``--target service``), or a running ``kpj serve`` endpoint
+(``--url``) — and emits one schema-versioned ``BENCH_loadtest.json``
+entry — p50/p95/p99/p99.9 tail latency split into queue wait vs
+service time, achieved-vs-target QPS, occupancy, error counts,
+per-phase timers and work counters — then evaluates the spec's SLO
+gate (absolute p99/throughput floors plus a regression bound against
+the pinned baseline entry for the same target), exiting non-zero on
+any violation.  ``report --loadtest`` renders that trajectory as
 markdown.
+
+Serving (DESIGN.md §3i): ``serve`` runs the persistent query service
+— resident worker processes spawned once over shared-memory CSR
+segments, warm :class:`~repro.core.kpj.PreparedCategory` LRUs, an
+asyncio front-end with admission control, per-query deadlines, and
+prepare coalescing — behind a dependency-free HTTP surface
+(``POST /query``, ``GET /healthz``, ``GET /metrics`` Prometheus
+exposition, ``GET /status``).
 
 ``fuzz`` runs the differential fuzzing harness (:mod:`repro.fuzz`):
 seeded random instances cross-checked over every registry algorithm ×
@@ -337,7 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     loadtest = sub.add_parser(
         "loadtest",
-        help="replay a declarative open-loop workload spec against the pool",
+        help="replay a declarative open-loop workload spec against a "
+        "serving tier",
     )
     loadtest.add_argument(
         "--spec",
@@ -367,6 +379,64 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="evaluate the spec's SLO gate and exit non-zero on violation "
         "(default: on)",
+    )
+    loadtest.add_argument(
+        "--target",
+        choices=("pool", "service"),
+        default="pool",
+        help="serving tier: the fork-per-batch pool (default) or the "
+        "resident-worker service; entries and baselines match per target",
+    )
+    loadtest.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="replay over HTTP against a running `kpj serve` endpoint "
+        "(implies --target service)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent query service (resident workers over "
+        "shared-memory CSR, HTTP front-end)",
+    )
+    serve.add_argument("--dataset", required=True, choices=available_datasets())
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="resident worker processes"
+    )
+    serve.add_argument(
+        "--kernel", default="dict", choices=KERNELS, help="search substrate"
+    )
+    serve.add_argument("--landmarks", type=int, default=16)
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission bound: submissions beyond this many in-flight "
+        "queries are shed with HTTP 429",
+    )
+    serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default per-query deadline (cooperative, checked at phase "
+        "boundaries); requests may override via their timeout_s field",
+    )
+    serve.add_argument(
+        "--prewarm",
+        default=None,
+        metavar="CATS",
+        help="comma-separated categories whose prepared state is built "
+        "at startup (one-time warmup phase) before the workers fork",
+    )
+    serve.add_argument(
+        "--prepared-cache",
+        type=int,
+        default=32,
+        help="per-worker PreparedCategory LRU bound",
     )
     return parser
 
@@ -1082,13 +1152,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 if baseline_path == args.out
                 else load_entries(baseline_path)
             )
-            baseline = baseline_for(pool, spec.as_dict())
+            target = "service" if args.url else args.target
+            baseline = baseline_for(pool, spec.as_dict(), target=target)
     except QueryError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     try:
         entry = replay_workload(
-            spec, progress=lambda msg: print(f"# {msg}", file=sys.stderr)
+            spec, progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+            target=args.target, url=args.url,
         )
     except QueryError as exc:
         print(str(exc), file=sys.stderr)
@@ -1116,7 +1188,63 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"  - {failure}", file=sys.stderr)
         return 1
     against = " vs baseline" if baseline is not None else ""
-    print(f"slo gate OK{against}")
+    print(f"slo gate OK{against}", file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.kpj import KPJSolver
+    from repro.datasets.registry import road_network
+    from repro.exceptions import QueryError
+    from repro.server.http import run_server
+    from repro.server.service import QueryService
+
+    try:
+        dataset = road_network(args.dataset)
+        solver = KPJSolver(
+            dataset.graph,
+            dataset.categories,
+            landmarks=args.landmarks,
+            kernel=args.kernel,
+            prepared_cache_size=args.prepared_cache,
+        )
+        prewarm = (
+            tuple(c.strip() for c in args.prewarm.split(",") if c.strip())
+            if args.prewarm
+            else ()
+        )
+        service = QueryService(
+            solver,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            default_timeout_s=args.timeout_s,
+            prewarm=prewarm,
+        )
+    except QueryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"starting service: dataset {args.dataset}, {args.workers} "
+        f"resident worker(s), {args.kernel} kernel, "
+        f"{args.landmarks} landmarks",
+        flush=True,
+    )
+    try:
+        run_server(
+            service,
+            host=args.host,
+            port=args.port,
+            announce=lambda msg: print(msg, flush=True),
+        )
+    except QueryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    print("service stopped (workers retired, shared memory unlinked)")
     return 0
 
 
@@ -1145,6 +1273,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -335,6 +335,7 @@ class KPJSolver:
         stats: SearchStats | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
+        engine: str = "pool",
     ) -> list[QueryResult]:
         """Answer a list of queries, optionally across a process pool.
 
@@ -365,12 +366,17 @@ class KPJSolver:
         ``batch`` span, and each sampled query's span snapshot (local
         or shipped back from a worker process, keeping the worker's
         pid) is re-rooted under it.
+
+        ``engine="service"`` routes the batch through the
+        resident-worker tier (:mod:`repro.server.service`) instead of
+        the fork-per-batch pool: workers are spawned once over
+        shared-memory CSR state and answer with a warm prepared cache.
         """
         from repro.server.pool import run_batch
 
         return run_batch(
             self, queries, workers=workers, stats=stats, metrics=metrics,
-            tracer=tracer,
+            tracer=tracer, engine=engine,
         )
 
     def prepare(

@@ -81,14 +81,17 @@ class QueryResult:
         A plain string, so it too survives the fork boundary.
     timing:
         Serving-side timestamps stamped by
-        :func:`~repro.server.pool.run_batch` and the load-test replay
-        engine: ``enqueued_at_s``/``started_at_s`` monotonic offsets
-        from the batch start plus the derived ``queue_wait_s``, so
-        queue wait is attributable separately from the service time in
-        :attr:`elapsed_ms`.  ``None`` outside batch/load-test serving.
-        A plain dict — workers stamp their half (``started_at_s``) and
-        the parent merges the enqueue side after results cross the
-        fork boundary.
+        :func:`~repro.server.pool.run_batch`, the resident
+        :class:`~repro.server.service.QueryService`, and the load-test
+        replay engine: ``enqueued_at_s``/``started_at_s`` monotonic
+        offsets from the process-wide
+        :func:`~repro.server.epoch.service_epoch` plus the derived
+        ``queue_wait_s``, so queue wait is attributable separately
+        from the service time in :attr:`elapsed_ms` and offsets from
+        different batches/targets share one timeline.  ``None``
+        outside batch/service/load-test serving.  A plain dict —
+        workers stamp their half (``started_at_s``) and the parent
+        merges the enqueue side after results cross the fork boundary.
     """
 
     paths: list[Path]

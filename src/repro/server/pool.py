@@ -30,6 +30,7 @@ from typing import Mapping, Sequence
 from repro.exceptions import QueryError
 from repro.obs.metrics import LOADTEST_LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.obs.tracing import SpanTracer
+from repro.server.epoch import service_epoch
 
 __all__ = ["BatchQuery", "run_batch"]
 
@@ -202,7 +203,7 @@ def _warm_with_metrics(solver, batch: Sequence[BatchQuery], metrics) -> None:
 
 def run_batch(
     solver, queries: Sequence, workers: int = 1, stats=None, metrics=None,
-    tracer=None,
+    tracer=None, engine: str = "pool", service=None,
 ) -> list:
     """Answer ``queries`` with ``solver``, sharded over ``workers``.
 
@@ -242,13 +243,25 @@ def run_batch(
 
     Every completed result additionally carries serving-side timing
     (``QueryResult.timing``): ``enqueued_at_s``/``started_at_s``
-    monotonic offsets from the batch start and the derived
+    monotonic offsets from the process-wide
+    :func:`~repro.server.epoch.service_epoch` and the derived
     ``queue_wait_s``, so queue wait is attributable separately from
-    the service time post-hoc.  Workers stamp the start half; the
-    parent merges the enqueue half after results cross the fork
-    boundary — on the failure path too, like the snapshot merges
-    below.  When ``metrics`` is passed, the queue waits are also
-    recorded into a log-spaced ``queue_wait_ms`` histogram.
+    the service time post-hoc.  Offsets used to be rebased per batch,
+    which reset them to ~0 on every call and made successive batches'
+    (and the service tier's) timing histograms incomparable; one
+    shared epoch keeps every serving surface on the same timeline.
+    Workers stamp the start half; the parent merges the enqueue half
+    after results cross the fork boundary — on the failure path too,
+    like the snapshot merges below.  When ``metrics`` is passed, the
+    queue waits are also recorded into a log-spaced ``queue_wait_ms``
+    histogram.
+
+    ``engine`` selects the serving tier: ``"pool"`` (default) is the
+    fork-per-batch pool described above; ``"service"`` routes the
+    batch through the resident-worker tier
+    (:func:`repro.server.service.run_service_batch`) — either a
+    private :class:`~repro.server.service.QueryService` spun for the
+    call, or the long-lived one passed as ``service``.
 
     Pooled results are additionally tagged per worker: each query
     snapshot carries a ``worker_<i>_queries`` counter, so the merged
@@ -260,11 +273,23 @@ def run_batch(
     every sibling's observability data on the floor.
     """
     global _WORKER_SOLVER
+    if engine == "service" or service is not None:
+        from repro.server.service import run_service_batch
+
+        return run_service_batch(
+            solver, queries, workers=workers, stats=stats, metrics=metrics,
+            tracer=tracer, service=service,
+        )
+    if engine != "pool":
+        raise QueryError(
+            f"unknown batch engine {engine!r}; choose 'pool' or 'service'"
+        )
     batch = [_coerce(q) for q in queries]
     if not batch:
         return []
     workers = min(int(workers), len(batch))
-    t_base = perf_counter()  # batch epoch: timing offsets are relative to it
+    epoch = service_epoch()  # timing offsets are relative to it
+    t_base = perf_counter()
     t_enqueue: float | None = None
     own_metrics = metrics is not None and solver.metrics is None
     if own_metrics:
@@ -341,9 +366,12 @@ def run_batch(
         failure = next((r for r in results if isinstance(r, _WorkerFailure)), None)
         completed = [r for r in results if not isinstance(r, _WorkerFailure)]
         # Merge the parent's enqueue half into each completed result's
-        # timing and rebase onto batch-start offsets — on the failure
-        # path too, exactly like the snapshot merges below: a bad
-        # query must not discard its siblings' queue-wait attribution.
+        # timing and rebase onto the process-wide serving epoch — on
+        # the failure path too, exactly like the snapshot merges below:
+        # a bad query must not discard its siblings' queue-wait
+        # attribution.  The epoch (not the batch start) is the origin
+        # so offsets from successive batches and from the resident
+        # service tier share one timeline.
         for result in completed:
             timing = dict(result.timing or {})
             enqueued = timing.get("enqueued_at_s")
@@ -352,8 +380,8 @@ def run_batch(
             started = timing.get("started_at_s", enqueued)
             queue_wait = max(0.0, started - enqueued)
             result.timing = {
-                "enqueued_at_s": enqueued - t_base,
-                "started_at_s": started - t_base,
+                "enqueued_at_s": enqueued - epoch,
+                "started_at_s": started - epoch,
                 "queue_wait_s": queue_wait,
             }
             if metrics is not None:

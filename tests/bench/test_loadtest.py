@@ -191,3 +191,52 @@ class TestTrajectoryIO:
         base = baseline_for(pool, spec.as_dict())
         assert base is not None and base["latency_ms"]["p99"] == 30.0
         assert baseline_for(pool, tiny_spec(seed=7).as_dict()) is None
+
+
+class TestServiceTarget:
+    """`--target service`: replay against the resident-worker tier."""
+
+    @pytest.fixture(scope="class")
+    def service_entry(self):
+        return replay_workload(tiny_spec(), target="service")
+
+    def test_entry_matches_pool_shape(self, service_entry, tiny_entry):
+        assert service_entry["target"] == "service"
+        assert tiny_entry.get("target", "pool") == "pool"
+        assert service_entry["completed"] == 12
+        assert service_entry["errors"]["count"] == 0
+        assert service_entry["schedule_sha"] == tiny_entry["schedule_sha"]
+        for block in ("latency_ms", "queue_wait_ms", "service_ms"):
+            assert service_entry[block]["count"] == 12
+
+    def test_warmup_paid_once_at_startup(self, service_entry):
+        # The acceptance criterion for the service tier: per-query
+        # service time excludes warm-up, which shows up as exactly one
+        # call of the one-time warmup phase.
+        assert service_entry["phases"]["warmup"]["calls"] == 1
+        assert service_entry["work"]
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(QueryError, match="unknown loadtest target"):
+            replay_workload(tiny_spec(), target="bogus")
+
+    def test_baseline_lookup_is_target_scoped(self):
+        spec = tiny_spec()
+        pool_base = synthetic_entry(spec, p99=10.0)
+        service_base = dict(synthetic_entry(spec, p99=20.0), target="service")
+        entries = [pool_base, service_base]
+        found = baseline_for(entries, spec.as_dict(), target="service")
+        assert found is not None and found["latency_ms"]["p99"] == 20.0
+        # Entries from before targets existed count as pool.
+        found = baseline_for(entries, spec.as_dict(), target="pool")
+        assert found is not None and found["latency_ms"]["p99"] == 10.0
+
+    def test_gate_flags_cross_target_baseline(self):
+        spec = tiny_spec(slo={"regression_factor": 2.0})
+        entry = dict(synthetic_entry(spec), target="service")
+        baseline = synthetic_entry(spec)  # implicit pool
+        failures = evaluate_gate(entry, spec, baseline)
+        assert any("different target" in f for f in failures)
+
+    def test_summary_names_the_target(self, service_entry):
+        assert "target service" in render_entry_summary(service_entry)

@@ -1,0 +1,259 @@
+"""The resident-worker query service (`repro.server.service`).
+
+The acceptance bar mirrors `test_pool.py`: answers through the
+service must be identical to sequential solving, with the additional
+service-tier contracts on top — shared-memory residency visible from
+the workers, warm-up paid exactly once, telemetry on the standard
+MetricsRegistry stack, and no shared-memory segments leaked after
+shutdown.
+"""
+
+import pytest
+
+from repro.core.kpj import KPJSolver
+from repro.core.stats import SearchStats
+from repro.datasets.registry import road_network
+from repro.exceptions import QueryError
+from repro.obs.metrics import MetricsRegistry, parse_prom
+from repro.server.pool import BatchQuery, run_batch
+from repro.server.service import QueryService, run_service_batch
+from repro.server.shared import active_segments
+
+
+@pytest.fixture(scope="module")
+def sj_solver():
+    dataset = road_network("SJ")
+    return dataset, KPJSolver(dataset.graph, dataset.categories, landmarks=8)
+
+
+@pytest.fixture(scope="module")
+def service(sj_solver):
+    """One module-wide running service (startup forks processes)."""
+    _, solver = sj_solver
+    with QueryService(solver, workers=2, prewarm=("T2",)) as svc:
+        yield svc
+
+
+def _query_mix(dataset, count):
+    cats = sorted(dataset.categories._sets)
+    return [
+        BatchQuery(source=(i * 97) % dataset.n, category=cats[i % len(cats)], k=5)
+        for i in range(count)
+    ]
+
+
+def _fingerprint(results):
+    return [
+        (r.algorithm, tuple((p.nodes, p.length) for p in r.paths))
+        for r in results
+    ]
+
+
+class TestLifecycle:
+    def test_construction_validates(self, sj_solver):
+        _, solver = sj_solver
+        with pytest.raises(QueryError, match="at least one worker"):
+            QueryService(solver, workers=0)
+        with pytest.raises(QueryError, match="max_pending"):
+            QueryService(solver, max_pending=0)
+
+    def test_double_start_rejected(self, service):
+        with pytest.raises(QueryError, match="already started"):
+            service.start()
+
+    def test_submit_before_start_rejected(self, sj_solver):
+        _, solver = sj_solver
+        svc = QueryService(solver)
+        with pytest.raises(QueryError, match="not running"):
+            svc.query(BatchQuery(source=0, category="T1"))
+
+    def test_shutdown_is_idempotent_and_unlinks(self, sj_solver):
+        _, solver = sj_solver
+        svc = QueryService(solver, workers=1)
+        svc.start()
+        segments = svc.shared_segments()
+        assert all(name in active_segments() for name in segments)
+        svc.shutdown()
+        svc.shutdown()
+        assert not set(segments) & set(active_segments())
+        with pytest.raises(QueryError, match="not running"):
+            svc.query(BatchQuery(source=0, category="T1"))
+
+    def test_workers_are_resident_processes(self, service):
+        import os
+
+        pids = service.worker_pids()
+        assert len(pids) == 2
+        assert os.getpid() not in pids
+        assert len(set(pids)) == 2
+
+
+class TestCorrectness:
+    def test_answers_identical_to_sequential(self, service, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 20)
+        results = service.solve(queries)
+        for q, r in zip(queries, results):
+            direct = solver.top_k(
+                q.source, category=q.category, k=q.k, algorithm=q.algorithm
+            )
+            assert _fingerprint([r]) == _fingerprint([direct])
+
+    def test_destination_set_queries(self, service, sj_solver):
+        dataset, solver = sj_solver
+        q = BatchQuery(source=3, destinations=(9, 17, 25), k=4)
+        result = service.query(q)
+        direct = solver.top_k(q.source, destinations=q.destinations, k=q.k)
+        assert _fingerprint([result]) == _fingerprint([direct])
+
+    def test_invalid_query_is_clean_error(self, service):
+        with pytest.raises(QueryError, match="NOPE"):
+            service.query(BatchQuery(source=0, category="NOPE"))
+        # The service survives the bad query.
+        assert service.query(BatchQuery(source=1, category="T1", k=2)).paths
+
+    def test_queries_hit_the_resident_warm_cache(self, service, sj_solver):
+        # Steady state: the worker's prepared entry serves the query,
+        # so its internal prepare is a cache hit, never a rebuild.
+        result = service.query(BatchQuery(source=5, category="T2", k=3))
+        assert result.stats.prepared_cache_hits >= 1
+        assert result.stats.prepared_cache_misses == 0
+
+
+class TestSharedResidency:
+    def test_workers_map_the_parent_segments_read_only(self, service):
+        for worker in range(service.workers):
+            info = service.ping(worker)
+            assert info["segments"] == list(service.shared_segments())
+            assert info["csr_readonly"] is True
+
+    def test_prewarmed_category_is_warm_in_every_worker(self, service):
+        for worker in range(service.workers):
+            info = service.ping(worker)
+            assert info["cache"]["entries"] >= 1
+
+
+class TestTiming:
+    def test_timing_rebased_to_service_epoch(self, service, sj_solver):
+        dataset, _ = sj_solver
+        results = service.solve(_query_mix(dataset, 6))
+        for r in results:
+            timing = r.timing
+            assert set(timing) == {
+                "enqueued_at_s", "started_at_s", "queue_wait_s"
+            }
+            assert timing["started_at_s"] >= timing["enqueued_at_s"] >= 0.0
+            assert timing["queue_wait_s"] >= 0.0
+
+
+class TestTelemetry:
+    def test_service_counters_and_histograms(self, sj_solver):
+        dataset, solver = sj_solver
+        metrics = MetricsRegistry()
+        with QueryService(solver, workers=1, metrics=metrics) as svc:
+            svc.solve(_query_mix(dataset, 4))
+        assert metrics.counters["service_queries"] == 4
+        assert metrics.counters["queries"] == 4  # per-query snapshots merged
+        assert metrics.histograms["queue_wait_ms"].total == 4
+        assert metrics.histograms["service_ms"].total == 4
+        assert metrics.counters.get("service_rejected_overload", 0) == 0
+
+    def test_warmup_phase_paid_exactly_once(self, sj_solver):
+        dataset, solver = sj_solver
+        with QueryService(solver, workers=1, prewarm=("T1",)) as svc:
+            svc.solve(_query_mix(dataset, 5))
+            phases = svc.metrics.report()["phases"]
+        assert phases["warmup"]["calls"] == 1
+        assert phases["warmup"]["ms"] > 0.0
+
+    def test_work_counters_aggregate(self, service, sj_solver):
+        dataset, _ = sj_solver
+        before = service.stats.as_dict()
+        results = service.solve(_query_mix(dataset, 3))
+        after = service.stats.as_dict()
+        gained = after["lb_tests"] - before["lb_tests"]
+        assert gained == sum(r.stats.lb_tests for r in results)
+
+    def test_prometheus_exposition_parses(self, service):
+        service.query(BatchQuery(source=2, category="T1", k=2))
+        text = service.render_prom()
+        samples = parse_prom(text, require_non_negative=False)
+        assert samples[("kpj_service_queries_total", ())] >= 1.0
+        assert ("kpj_queue_wait_ms_count", ()) in samples
+
+    def test_describe_is_json_ready_status(self, service):
+        import json
+
+        status = service.describe()
+        json.dumps(status)  # no unserialisable leftovers
+        assert status["workers"] == 2
+        assert status["max_pending"] == service.max_pending
+        assert len(status["segments"]) == 3
+        assert status["uptime_s"] >= 0.0
+        assert "phases" in status["metrics"]
+
+    def test_query_ids_are_minted(self, service):
+        a = service.query(BatchQuery(source=1, category="T1", k=2))
+        b = service.query(BatchQuery(source=2, category="T1", k=2))
+        assert a.query_id and b.query_id and a.query_id != b.query_id
+
+
+class TestBatchIntegration:
+    def test_run_batch_engine_service(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 10)
+        pooled = run_batch(solver, queries, workers=2)
+        served = run_batch(solver, queries, workers=2, engine="service")
+        assert _fingerprint(served) == _fingerprint(pooled)
+
+    def test_solve_batch_engine_passthrough(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 6)
+        sequential = solver.solve_batch(queries)
+        served = solver.solve_batch(queries, workers=2, engine="service")
+        assert _fingerprint(served) == _fingerprint(sequential)
+
+    def test_unknown_engine_rejected(self, sj_solver):
+        _, solver = sj_solver
+        with pytest.raises(QueryError, match="engine"):
+            run_batch(solver, [{"source": 0, "category": "T1"}], engine="bogus")
+
+    def test_run_service_batch_aggregates_telemetry(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 8)
+        stats, metrics = SearchStats(), MetricsRegistry()
+        results = run_service_batch(
+            solver, queries, workers=2, stats=stats, metrics=metrics
+        )
+        assert len(results) == len(queries)
+        assert stats.lb_tests == sum(r.stats.lb_tests for r in results)
+        assert metrics.counters["service_queries"] == len(queries)
+        assert "warmup" in metrics.phases
+
+    def test_run_service_batch_failure_keeps_sibling_results(self, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 4)
+        queries.insert(2, BatchQuery(source=0, category="NOPE"))
+        stats = SearchStats()
+        with pytest.raises(QueryError, match="NOPE"):
+            run_service_batch(solver, queries, workers=1, stats=stats)
+        assert stats.lb_tests > 0  # completed siblings still merged
+
+    def test_run_service_batch_against_running_service(self, service, sj_solver):
+        dataset, solver = sj_solver
+        queries = _query_mix(dataset, 5)
+        results = run_service_batch(solver, queries, service=service)
+        direct = [
+            solver.top_k(q.source, category=q.category, k=q.k) for q in queries
+        ]
+        assert _fingerprint(results) == _fingerprint(direct)
+
+    def test_empty_batch(self, sj_solver):
+        _, solver = sj_solver
+        assert run_service_batch(solver, []) == []
+
+
+def test_no_segments_leaked_by_this_module():
+    """Every service in this file shut down cleanly (leak check)."""
+    # The module fixture is still running; only its segments may live.
+    assert len(active_segments()) <= 3
